@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short race bench experiments corpus clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+race:
+	go test -race ./internal/probe/ ./internal/servefarm/ ./internal/corpus/ ./internal/certmodel/
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every table/figure/validation at the default scale and
+# refresh the committed results (plus CSV exports for plotting).
+experiments:
+	go run ./cmd/experiments -exp all -scale 0.1 -csv results/csv | tee results/experiments_seed1_scale0.1.txt
+
+# Produce an on-disk corpus with the public-dataset stand-ins.
+corpus:
+	go run ./cmd/worldgen -out ./data -scale 0.05 -datasets
+
+clean:
+	rm -rf ./data

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/bgpsim"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+// writeSnapshots generates a small Rapid7 corpus on disk: the last three
+// snapshots of the study window (enough for the growth mode to print a
+// short series).
+func writeSnapshots(dir string, seed uint64, scale float64) error {
+	w, err := worldsim.New(worldsim.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	p := scanners.Rapid7Profile()
+	for s := timeline.Snapshot(timeline.Count() - 3); s < timeline.Snapshot(timeline.Count()); s++ {
+		snap := scanners.Scan(w, p, s)
+		if snap == nil {
+			continue
+		}
+		if err := corpus.Write(dir, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeDatasets mirrors worldgen's -datasets output for the test corpus.
+func writeDatasets(dir string, seed uint64, scale float64) error {
+	w, err := worldsim.New(worldsim.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	dsDir := filepath.Join(dir, "datasets")
+	if err := os.MkdirAll(filepath.Join(dsDir, "rib"), 0o755); err != nil {
+		return err
+	}
+	writeFile := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile(filepath.Join(dsDir, "as-rel.txt"), func(f io.Writer) error {
+		return astopo.WriteASRel(f, w.Graph())
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dsDir, "as-org.txt"), func(f io.Writer) error {
+		return astopo.WriteOrgs(f, w.Orgs())
+	}); err != nil {
+		return err
+	}
+	for s := timeline.Snapshot(timeline.Count() - 3); s < timeline.Snapshot(timeline.Count()); s++ {
+		for _, col := range []bgpsim.Collector{bgpsim.RouteViews, bgpsim.RIPERIS} {
+			rib := bgpsim.BuildRIB(w.Graph(), w.Alloc(), col, s, bgpsim.DefaultNoise(), seed)
+			name := fmt.Sprintf("%s_%s.txt", col, s.Label())
+			if err := writeFile(filepath.Join(dsDir, "rib", name), func(f io.Writer) error {
+				return bgpsim.WriteRIB(f, rib)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Command offnetmap runs the paper's §4 inference pipeline over a corpus
+// directory produced by worldgen and prints each hypergiant's off-net
+// footprint — one snapshot, or the whole longitudinal series.
+//
+// Usage:
+//
+//	offnetmap -corpus ./data [-vendor rapid7] [-snapshot 2021-04] [-certs-only] [-list google]
+//	offnetmap -corpus ./data -growth            # Fig-3-style series from disk
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/bgpsim"
+	"offnetscope/internal/core"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("offnetmap: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("offnetmap", flag.ContinueOnError)
+	dir := fs.String("corpus", "", "corpus directory written by worldgen (required)")
+	vendor := fs.String("vendor", "rapid7", "corpus vendor to analyse")
+	snapLabel := fs.String("snapshot", "2021-04", "snapshot (YYYY-MM)")
+	certsOnly := fs.Bool("certs-only", false, "skip header confirmation (§4.3 output)")
+	list := fs.String("list", "", "also list the hosting ASes of this hypergiant")
+	growth := fs.Bool("growth", false, "run every snapshot on disk and print growth series")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("-corpus is required")
+	}
+
+	pipeline, err := pipelineFromManifest(*dir, *certsOnly)
+	if err != nil {
+		return err
+	}
+
+	if *growth {
+		return runGrowth(stdout, pipeline, *dir, corpus.Vendor(*vendor))
+	}
+
+	s, ok := timeline.FromLabel(*snapLabel)
+	if !ok {
+		return fmt.Errorf("invalid snapshot %q", *snapLabel)
+	}
+	snap, err := corpus.Read(*dir, corpus.Vendor(*vendor), s)
+	if err != nil {
+		return fmt.Errorf("reading corpus: %w", err)
+	}
+	res := pipeline.Run(snap)
+	printSnapshot(stdout, res, *vendor, s)
+
+	if *list != "" {
+		h, ok := hg.ByName(strings.TrimSpace(*list))
+		if !ok {
+			return fmt.Errorf("unknown hypergiant %q", *list)
+		}
+		ases := res.PerHG[h.ID].SortedConfirmedASes()
+		fmt.Fprintf(stdout, "\n%s hosting ASes (%d):", h.Name, len(ases))
+		for i, as := range ases {
+			if i%12 == 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprintf(stdout, " AS%-6d", as)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// pipelineFromManifest rebuilds the matching world datasets (IP-to-AS,
+// WHOIS, trust store) from the corpus manifest — the stand-ins for
+// RouteViews/RIS, CAIDA, and the Common CA Database.
+func pipelineFromManifest(dir string, certsOnly bool) (*core.Pipeline, error) {
+	mfData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("reading manifest: %w", err)
+	}
+	var mf struct {
+		Seed  uint64  `json:"seed"`
+		Scale float64 `json:"scale"`
+	}
+	if err := json.Unmarshal(mfData, &mf); err != nil {
+		return nil, fmt.Errorf("parsing manifest: %w", err)
+	}
+	w, err := worldsim.New(worldsim.Config{Seed: mf.Seed, Scale: mf.Scale})
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	if certsOnly {
+		opts.HeaderMode = core.CertsOnly
+	}
+	p := &core.Pipeline{
+		Trust:  w.TrustStore(),
+		Orgs:   w.Orgs(),
+		Mapper: func(s timeline.Snapshot) core.IPMapper { return w.IP2AS(s) },
+		Opts:   opts,
+	}
+	// Prefer on-disk dataset files (worldgen -datasets) over the
+	// regenerated world: that is how the paper's pipeline consumed the
+	// public WHOIS and BGP corpuses.
+	dsDir := filepath.Join(dir, "datasets")
+	if orgFile, err := os.Open(filepath.Join(dsDir, "as-org.txt")); err == nil {
+		orgs, perr := astopo.ReadOrgs(orgFile)
+		orgFile.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("parsing as-org.txt: %w", perr)
+		}
+		p.Orgs = orgs
+		cache := map[timeline.Snapshot]core.IPMapper{}
+		p.Mapper = func(s timeline.Snapshot) core.IPMapper {
+			if m, ok := cache[s]; ok {
+				return m
+			}
+			var ribs []*bgpsim.RIB
+			for _, col := range []bgpsim.Collector{bgpsim.RouteViews, bgpsim.RIPERIS} {
+				f, err := os.Open(filepath.Join(dsDir, "rib", fmt.Sprintf("%s_%s.txt", col, s.Label())))
+				if err != nil {
+					continue
+				}
+				rib, perr := bgpsim.ReadRIB(f)
+				f.Close()
+				if perr == nil {
+					ribs = append(ribs, rib)
+				}
+			}
+			var m core.IPMapper
+			if len(ribs) > 0 {
+				m = bgpsim.BuildIP2AS(s, ribs...)
+			} else {
+				m = w.IP2AS(s) // months outside the dataset range
+			}
+			cache[s] = m
+			return m
+		}
+	}
+	return p, nil
+}
+
+func printSnapshot(stdout io.Writer, res *core.Result, vendor string, s timeline.Snapshot) {
+	fmt.Fprintf(stdout, "corpus %s/%s: %d cert IPs in %d ASes (%d valid chains)\n",
+		vendor, s.Label(), res.TotalCertIPs, res.TotalCertASes, res.ValidCertIPs)
+	fmt.Fprintf(stdout, "%-12s %10s %10s %9s %9s\n", "hypergiant", "candASes", "confASes", "candIPs", "confIPs")
+
+	type row struct {
+		id   hg.ID
+		conf int
+	}
+	var rows []row
+	for _, h := range hg.All() {
+		rows = append(rows, row{h.ID, len(res.PerHG[h.ID].ConfirmedASes)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].conf > rows[j].conf })
+	for _, r := range rows {
+		hr := res.PerHG[r.id]
+		if len(hr.CandidateASes) == 0 && len(hr.ConfirmedASes) == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-12s %10d %10d %9d %9d\n",
+			r.id, len(hr.CandidateASes), len(hr.ConfirmedASes), hr.CandidateIPs, hr.ConfirmedIPs)
+	}
+}
+
+// runGrowth replays the whole on-disk corpus through the study runner.
+func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor) error {
+	sr := pipeline.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
+		snap, err := corpus.Read(dir, vendor, s)
+		if err != nil {
+			return nil // months the corpus doesn't cover
+		}
+		return snap
+	})
+	fmt.Fprintf(stdout, "%-8s %7s %9s %7s %8s %8s %8s\n",
+		"snap", "Google", "Facebook", "Akamai", "NF-init", "NF-exp", "NF-http")
+	g := sr.ConfirmedSeries(hg.Google)
+	f := sr.ConfirmedSeries(hg.Facebook)
+	a := sr.ConfirmedSeries(hg.Akamai)
+	for _, s := range timeline.All() {
+		if sr.Results[s] == nil {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-8s %7d %9d %7d %8d %8d %8d\n",
+			s.Label(), g[s], f[s], a[s],
+			sr.NetflixInitial[s], sr.NetflixWithExpired[s], sr.NetflixNonTLS[s])
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Coverage: estimate how much of each country's Internet user
+// population can be served from inside its own network provider —
+// Figures 7 and 8 for Google, including the customer-cone expansion.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/core"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/population"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world, err := worldsim.New(worldsim.Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop := population.Build(world.Graph(), 7)
+
+	s := timeline.Snapshot(timeline.Count() - 1)
+	pipeline := &core.Pipeline{
+		Trust:  world.TrustStore(),
+		Orgs:   world.Orgs(),
+		Mapper: func(s timeline.Snapshot) core.IPMapper { return world.IP2AS(s) },
+		Opts:   core.DefaultOptions(),
+	}
+	res := pipeline.Run(scanners.Scan(world, scanners.Rapid7Profile(), s))
+
+	hosting := res.PerHG[hg.Google].ConfirmedASes
+	direct := pop.CoverageByCountry(hosting, s)
+	cones := pop.ConeCoverageByCountry(hosting, s)
+
+	fmt.Printf("Google off-nets in %d ASes at %s\n", len(hosting), s.Label())
+	fmt.Printf("world coverage: %.1f%% direct, %.1f%% with customer cones\n\n",
+		pop.WorldCoverage(hosting, s),
+		pop.WorldCoverage(population.ExpandByCones(world.Graph(), hosting, s), s))
+
+	fmt.Printf("%-4s %-20s %8s %8s\n", "cc", "country", "direct", "+cones")
+	var codes []string
+	for code := range direct {
+		codes = append(codes, code)
+	}
+	sort.Slice(codes, func(i, j int) bool { return direct[codes[i]] > direct[codes[j]] })
+	for i, code := range codes {
+		if i >= 20 {
+			break
+		}
+		c, _ := astopo.CountryByCode(code)
+		fmt.Printf("%-4s %-20s %7.1f%% %7.1f%%\n", code, c.Name, direct[code], cones[code])
+	}
+}

@@ -1,0 +1,57 @@
+// Methods: why the paper's certificate approach was needed. Runs the two
+// earlier mapping techniques — EDNS-Client-Subnet enumeration and
+// Facebook FNA hostname guessing — as real algorithms against the
+// simulated DNS control plane, next to the certificate-based inference,
+// and shows where each breaks: ECS dies at Google's 2016 lockdown, and
+// naming maps only ever cover one hypergiant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offnetscope/internal/baselines"
+	"offnetscope/internal/core"
+	"offnetscope/internal/dnssim"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world, err := worldsim.New(worldsim.Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolver := dnssim.New(world)
+	pipeline := &core.Pipeline{
+		Trust:  world.TrustStore(),
+		Orgs:   world.Orgs(),
+		Mapper: func(s timeline.Snapshot) core.IPMapper { return world.IP2AS(s) },
+		Opts:   core.DefaultOptions(),
+	}
+
+	certCount := func(id hg.ID, s timeline.Snapshot) int {
+		res := pipeline.Run(scanners.Scan(world, scanners.Rapid7Profile(), s))
+		return len(res.PerHG[id].ConfirmedASes)
+	}
+
+	fmt.Println("Google hosting ASes: certificates vs ECS enumeration")
+	fmt.Printf("%-10s %8s %8s\n", "snapshot", "certs", "ECS")
+	for _, s := range []timeline.Snapshot{4, 9, 12, 30} {
+		ecs := baselines.ECSMap(resolver, world, world.IP2AS(s), hg.Google, s)
+		fmt.Printf("%-10s %8d %8d\n", s.Label(), certCount(hg.Google, s), len(ecs))
+	}
+	fmt.Printf("(Google stopped answering ECS at %s — the technique went blind.)\n\n", dnssim.ECSCutoff.Label())
+
+	fmt.Println("Facebook hosting ASes: certificates vs FNA name guessing")
+	fmt.Printf("%-10s %8s %8s\n", "snapshot", "certs", "naming")
+	for _, s := range []timeline.Snapshot{12, 20, 30} {
+		fna := baselines.FNAMap(resolver, world, world.IP2AS(s), s, 60, 6)
+		fmt.Printf("%-10s %8d %8d\n", s.Label(), certCount(hg.Facebook, s), len(fna))
+	}
+	fmt.Println("(Naming maps need a per-hypergiant pattern; most hypergiants have none.)")
+}

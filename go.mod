@@ -1,0 +1,3 @@
+module offnetscope
+
+go 1.22

@@ -1,0 +1,709 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"offnetscope/internal/timeline"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/worldsim"
+)
+
+var (
+	envOnce sync.Once
+	env     *Env
+)
+
+func testEnv(t testing.TB) *Env {
+	envOnce.Do(func() {
+		e, err := NewEnv(worldsim.Config{Seed: 42, Scale: 0.03})
+		if err != nil {
+			panic(err)
+		}
+		env = e
+	})
+	if env == nil {
+		t.Fatal("env failed to build")
+	}
+	return env
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"val-cross", "val-sample", "val-truth", "val-prior", "ablation",
+		"a3-certs", "hideseek", "v6gap", "methods", "sensitivity", "whatif",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	e := testEnv(t)
+	tbl := Table2(e)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("table 2 has %d rows", len(tbl.Rows))
+	}
+	byVendor := map[string]Table2Row{}
+	for _, r := range tbl.Rows {
+		byVendor[string(r.Vendor)] = r
+	}
+	r7, cs, ac := byVendor["rapid7"], byVendor["censys"], byVendor["certigo"]
+	// The authors' slow scan found ~20% more IPs than the projects' scans.
+	if float64(ac.CertIPs) < 1.05*float64(r7.CertIPs) {
+		t.Errorf("certigo IPs (%d) should clearly exceed Rapid7 (%d)", ac.CertIPs, r7.CertIPs)
+	}
+	// But the AS-level footprints are very similar across corpuses.
+	for _, id := range hg.Top4() {
+		a, b := r7.PerTop4ASes[id], cs.PerTop4ASes[id]
+		if a == 0 || b == 0 {
+			t.Fatalf("%v footprint empty in a corpus", id)
+		}
+		ratio := float64(a) / float64(b)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%v differs too much across corpuses: R7 %d vs CS %d", id, a, b)
+		}
+	}
+	if r7.AnyHGASes == 0 {
+		t.Error("no ASes with any HG")
+	}
+	if out := tbl.Render(); !strings.Contains(out, "rapid7") {
+		t.Error("render missing rapid7 row")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	e := testEnv(t)
+	tbl := Table3(e)
+	if len(tbl.Rows) < 8 {
+		t.Fatalf("table 3 has only %d rows", len(tbl.Rows))
+	}
+	if tbl.Rows[0].HG != hg.Google {
+		t.Errorf("rank 1 = %v, want Google", tbl.Rows[0].HG)
+	}
+	rank := map[hg.ID]int{}
+	for i, r := range tbl.Rows {
+		rank[r.HG] = i
+	}
+	for _, id := range hg.Top4() {
+		if rank[id] > 4 {
+			t.Errorf("%v ranked %d; top-4 should lead the table", id, rank[id]+1)
+		}
+	}
+	for _, r := range tbl.Rows {
+		switch r.HG {
+		case hg.Facebook:
+			if r.First != 0 {
+				t.Errorf("Facebook 2013 = %d, want 0", r.First)
+			}
+			if r.MaxAt != LastSnapshot() {
+				t.Errorf("Facebook max at %v, want 2021-04", r.MaxAt.Label())
+			}
+		case hg.Akamai:
+			if r.MaxAt >= 26 || r.MaxAt <= 10 {
+				t.Errorf("Akamai max at %v, want mid-study", r.MaxAt.Label())
+			}
+			if r.Last >= r.Max {
+				t.Error("Akamai should end below its peak")
+			}
+		case hg.Apple:
+			if r.Last != 0 || r.LastCertsOnly == 0 {
+				t.Errorf("Apple end = %d (%d certs-only), want 0 with a certs-only tail", r.Last, r.LastCertsOnly)
+			}
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	e := testEnv(t)
+	f := Fig2(e)
+	first, last := f.TotalIPs[0], f.TotalIPs[len(f.TotalIPs)-1]
+	if first == 0 || last < 2*first {
+		t.Errorf("raw IP population should grow substantially: %d → %d", first, last)
+	}
+	for i := range f.TotalIPs {
+		total := f.PctOnNetHG[i] + f.PctOffNetHG[i]
+		if total < 0 || total > 15 {
+			t.Errorf("HG share at %d = %.1f%%, implausible", i, total)
+		}
+	}
+	if f.PctOffNetHG[len(f.PctOffNetHG)-1] <= 0 {
+		t.Error("off-net HG share must be positive at the end")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	e := testEnv(t)
+	f := Fig3(e)
+	if f.Google[30] <= f.Google[0] {
+		t.Error("Google must grow")
+	}
+	if f.Facebook[0] != 0 || f.Facebook[30] == 0 {
+		t.Error("Facebook must start at 0 and end positive")
+	}
+	// Netflix envelope: expired ≥ initial; non-TLS ≥ expired, visible
+	// gap during the era.
+	for i := range f.NetflixInitial {
+		if f.NetflixExpired[i] < f.NetflixInitial[i] {
+			t.Fatalf("envelope violated at %d", i)
+		}
+		if f.NetflixNonTLS[i] < f.NetflixExpired[i] {
+			t.Fatalf("non-TLS envelope violated at %d", i)
+		}
+	}
+	if f.NetflixExpired[18] <= f.NetflixInitial[18] {
+		t.Error("no expired-cert gap during the Netflix era")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	e := testEnv(t)
+	f := Fig4(e)
+	for _, id := range []hg.ID{hg.Google, hg.Facebook, hg.Akamai} {
+		series := f.PerHG[id]
+		if len(series) != 6 {
+			t.Fatalf("%v has %d series, want 6", id, len(series))
+		}
+		for _, s := range series {
+			if s.Vendor == "censys" {
+				for i := 0; i < 24; i++ {
+					if s.Counts[i] != 0 {
+						t.Fatalf("Censys has data before 2019-10 at %d", i)
+					}
+				}
+				if s.Counts[30] == 0 {
+					t.Errorf("%v censys/%s empty at the end", id, s.Mode)
+				}
+			}
+		}
+		// Fig 4's point: certs-only and certs+headers nearly converge.
+		var certs, either []int
+		for _, s := range series {
+			if s.Vendor == "rapid7" && s.Mode == "certs" {
+				certs = s.Counts
+			}
+			if s.Vendor == "rapid7" && s.Mode == "either" {
+				either = s.Counts
+			}
+		}
+		if certs[30] == 0 || float64(either[30]) < 0.75*float64(certs[30]) {
+			t.Errorf("%v: headers lost too much: certs %d vs either %d", id, certs[30], either[30])
+		}
+	}
+}
+
+func TestFig5Demographics(t *testing.T) {
+	e := testEnv(t)
+	f := Fig5(e)
+	for _, id := range []hg.ID{hg.Google, hg.Facebook} {
+		series := f.PerHG[id]
+		last := len(series[astopo.Stub]) - 1
+		total := 0
+		for _, c := range astopo.AllCategories() {
+			total += series[c][last]
+		}
+		if total == 0 {
+			t.Fatalf("%v has no classified hosts", id)
+		}
+		stubShare := float64(series[astopo.Stub][last]) / float64(total)
+		baseStub := f.BasePopulation[astopo.Stub]
+		// §6.3: stubs are heavily under-represented among hosts
+		// (~29% of hosts vs ~85% of all ASes).
+		if stubShare >= baseStub {
+			t.Errorf("%v stub share %.2f not below base %.2f", id, stubShare, baseStub)
+		}
+		medShare := float64(series[astopo.Medium][last]) / float64(total)
+		if medShare <= f.BasePopulation[astopo.Medium] {
+			t.Errorf("%v medium ASes not over-represented: %.3f vs %.3f", id, medShare, f.BasePopulation[astopo.Medium])
+		}
+	}
+}
+
+func TestFig6Regional(t *testing.T) {
+	e := testEnv(t)
+	f := Fig6(e)
+	// South-America growth for Google is strong.
+	sa := f.Counts[astopo.SouthAmerica][hg.Google]
+	if sa[30] <= sa[0]*2 && sa[30] < 10 {
+		t.Errorf("Google South America growth too weak: %d → %d", sa[0], sa[30])
+	}
+	// Alibaba is Asia-centric.
+	asia := f.Counts[astopo.Asia][hg.Alibaba][30]
+	others := 0
+	for _, cont := range astopo.AllContinents() {
+		if cont != astopo.Asia {
+			others += f.Counts[cont][hg.Alibaba][30]
+		}
+	}
+	if asia < others {
+		t.Errorf("Alibaba: Asia %d vs elsewhere %d; should be Asia-dominant", asia, others)
+	}
+}
+
+func TestFig7Coverage(t *testing.T) {
+	e := testEnv(t)
+	f := Fig7(e)
+	if len(f.Maps) != 3 {
+		t.Fatalf("fig 7 has %d maps", len(f.Maps))
+	}
+	for _, m := range f.Maps {
+		if m.World <= 5 || m.World > 100 {
+			t.Errorf("%v world coverage = %.1f%%", m.HG, m.World)
+		}
+		if len(m.ByCountry) == 0 {
+			t.Errorf("%v covers no countries", m.HG)
+		}
+	}
+}
+
+func TestFig8ConeExpansion(t *testing.T) {
+	e := testEnv(t)
+	f := Fig8(e)
+	if f.Cones.World < f.Direct.World {
+		t.Errorf("cone coverage %.1f below direct %.1f", f.Cones.World, f.Direct.World)
+	}
+	if len(f.TopGainers) == 0 {
+		t.Error("cone expansion should raise some countries")
+	}
+}
+
+func TestFig9FacebookGrowth(t *testing.T) {
+	e := testEnv(t)
+	f := Fig9(e)
+	if f.Late.World <= f.Early.World {
+		t.Errorf("Facebook coverage should grow: %.1f → %.1f", f.Early.World, f.Late.World)
+	}
+}
+
+func TestFig10Overlap(t *testing.T) {
+	e := testEnv(t)
+	f := Fig10(e)
+	lastD := f.Dist[30]
+	if lastD[0]+lastD[1]+lastD[2]+lastD[3] == 0 {
+		t.Fatal("no hosting ASes at the end")
+	}
+	// Multi-HG hosting grows over time (2020: >70% host 2-4).
+	multiEarly := f.Dist[0][1] + f.Dist[0][2] + f.Dist[0][3]
+	multiLate := lastD[1] + lastD[2] + lastD[3]
+	if multiLate <= multiEarly {
+		t.Errorf("multi-HG hosting should grow: %d → %d", multiEarly, multiLate)
+	}
+	// Almost all HG hosts host a top-4 HG (~97%).
+	if f.PctTop4[30] < 85 {
+		t.Errorf("top-4 share of hosts = %.1f%%, want >85%%", f.PctTop4[30])
+	}
+}
+
+func TestFig11CertGroups(t *testing.T) {
+	e := testEnv(t)
+	f := Fig11(e)
+	g := f.Shares[hg.Google][30]
+	if len(g) == 0 {
+		t.Fatal("no Google cert groups")
+	}
+	if g[0] < 25 {
+		t.Errorf("Google top group share = %.1f%%, want dominant (>50%% in the paper)", g[0])
+	}
+	fbEarly := f.Shares[hg.Facebook][2]
+	fbLate := f.Shares[hg.Facebook][30]
+	if len(fbEarly) == 0 || len(fbLate) == 0 {
+		t.Fatal("missing Facebook group data")
+	}
+	if fbLate[0] >= fbEarly[0] {
+		t.Errorf("Facebook should disaggregate: top share %.1f → %.1f", fbEarly[0], fbLate[0])
+	}
+}
+
+func TestFig13ConsistentWithFig5(t *testing.T) {
+	e := testEnv(t)
+	f13 := Fig13(e)
+	f5 := Fig5(e)
+	// Summing Fig 13 over continents reproduces Fig 5 (minus unmapped
+	// countries and the Large/XLarge fold).
+	for _, id := range hg.Top4() {
+		sum13 := 0
+		for _, cat := range fig13Categories {
+			for _, cont := range astopo.AllContinents() {
+				sum13 += f13.Counts[id][cat][cont][30]
+			}
+		}
+		sum5 := 0
+		for _, c := range astopo.AllCategories() {
+			sum5 += f5.PerHG[id][c][30]
+		}
+		if sum13 == 0 || sum13 > sum5 {
+			t.Errorf("%v: fig13 sum %d vs fig5 sum %d", id, sum13, sum5)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	e := testEnv(t)
+	f := Fig14(e)
+	if f.Total25 < f.Total50 {
+		t.Errorf("≥25%% population (%d) must contain the ≥50%% one (%d)", f.Total25, f.Total50)
+	}
+	if f.Total25 == 0 {
+		t.Fatal("no persistent hosts")
+	}
+}
+
+func TestValCross(t *testing.T) {
+	e := testEnv(t)
+	v := ValCrossDomain(e)
+	if v.OffNets == 0 {
+		t.Fatal("no inferred off-nets to validate")
+	}
+	if v.PctNoValidation < 70 || v.PctNoValidation > 99.5 {
+		t.Errorf("no-validation share = %.1f%%, paper reports 89.7%%", v.PctNoValidation)
+	}
+	// Akamai dominates the validating exceptions (paper: 97%).
+	best, bestShare := hg.None, 0.0
+	for id, share := range v.ValidatorShare {
+		if share > bestShare {
+			best, bestShare = id, share
+		}
+	}
+	if best != hg.Akamai {
+		t.Errorf("largest validator = %v (%.1f%%), want Akamai", best, bestShare)
+	}
+}
+
+func TestValSample(t *testing.T) {
+	e := testEnv(t)
+	v := ValSample(e)
+	if v.Sampled == 0 {
+		t.Fatal("nothing sampled")
+	}
+	if v.PctValid > 10 {
+		t.Errorf("valid responders = %.2f%%, paper reports 0.1%%", v.PctValid)
+	}
+	if v.ValidResponders > 0 && v.PctInferred < 60 {
+		t.Errorf("inferred share of valid responders = %.1f%%, paper reports 98%%", v.PctInferred)
+	}
+}
+
+func TestValGroundTruth(t *testing.T) {
+	e := testEnv(t)
+	v := ValGroundTruth(e)
+	found := map[hg.ID]bool{}
+	for _, r := range v.Rows {
+		found[r.HG] = true
+		if hg.IsTop4(r.HG) {
+			if r.Recall < 85 {
+				t.Errorf("%v recall = %.1f%%", r.HG, r.Recall)
+			}
+			if r.Precision < 85 {
+				t.Errorf("%v precision = %.1f%%", r.HG, r.Precision)
+			}
+		}
+	}
+	for _, id := range hg.Top4() {
+		if !found[id] {
+			t.Errorf("%v missing from ground-truth validation", id)
+		}
+	}
+}
+
+func TestValPrior(t *testing.T) {
+	e := testEnv(t)
+	v := ValPrior(e)
+	if len(v.Rows) != 5 {
+		t.Fatalf("prior comparison has %d rows, want 5", len(v.Rows))
+	}
+	for _, r := range v.Rows {
+		if r.PriorASes == 0 {
+			t.Errorf("%s: empty prior study", r.Study)
+			continue
+		}
+		if r.PctFound < 80 {
+			t.Errorf("%s @ %s: found only %.1f%% of prior ASes", r.Study, r.Snapshot.Label(), r.PctFound)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	e := testEnv(t)
+	a := Ablations(e)
+	if len(a.Rows) != 4 {
+		t.Fatalf("ablations = %d rows", len(a.Rows))
+	}
+	anyGrew := false
+	for _, r := range a.Rows {
+		if r.AblatedASes < r.BaselineASes {
+			t.Errorf("%s: ablated %d below baseline %d", r.Name, r.AblatedASes, r.BaselineASes)
+		}
+		if r.AblatedASes > r.BaselineASes {
+			anyGrew = true
+		}
+	}
+	if !anyGrew {
+		t.Error("no ablation changed anything; filters are dead code?")
+	}
+}
+
+func TestAllExperimentsRender(t *testing.T) {
+	e := testEnv(t)
+	for _, exp := range Experiments() {
+		out := exp.Run(e).Render()
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s renders empty output", exp.ID)
+		}
+	}
+}
+
+func TestA3Certs(t *testing.T) {
+	e := testEnv(t)
+	a := A3Certs(e)
+	// Google rotates quarterly: its median lifetime stays ~90 days.
+	g := a.Rows[hg.Google][30]
+	if g.UniqueCerts == 0 {
+		t.Fatal("no Google certificates observed")
+	}
+	if g.MedianLifetimeDays < 60 || g.MedianLifetimeDays > 120 {
+		t.Errorf("Google median lifetime = %d days, want ~90", g.MedianLifetimeDays)
+	}
+	// Netflix switched to 35-day certificates in 2019 (appendix A.3).
+	nfBefore := a.Rows[hg.Netflix][20].MedianLifetimeDays
+	nfAfter := a.Rows[hg.Netflix][27].MedianLifetimeDays
+	if nfAfter >= nfBefore {
+		t.Errorf("Netflix lifetimes should shorten: %d → %d days", nfBefore, nfAfter)
+	}
+	if nfAfter > 60 {
+		t.Errorf("Netflix post-2019 median = %d days, want ~35", nfAfter)
+	}
+	// Microsoft terms are year-scale throughout.
+	if ms := a.Rows[hg.Microsoft][30].MedianLifetimeDays; ms < 300 {
+		t.Errorf("Microsoft median lifetime = %d days, want year-scale", ms)
+	}
+}
+
+func TestHideSeek(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds four worlds")
+	}
+	e := testEnv(t)
+	h := HideSeek(e)
+	if len(h.Rows) != 4 {
+		t.Fatalf("hide-and-seek has %d scenarios", len(h.Rows))
+	}
+	base := h.Rows[0]
+	if base.Recall[hg.Google] < 85 {
+		t.Fatalf("baseline recall = %.1f%%", base.Recall[hg.Google])
+	}
+	for _, r := range h.Rows[1:] {
+		switch r.Scenario {
+		case "null default certificates":
+			if r.Recall[hg.Google] > base.Recall[hg.Google]/2 {
+				t.Errorf("null certs barely hurt: %.1f%%", r.Recall[hg.Google])
+			}
+		case "strip Organization field":
+			if r.Recall[hg.Google] > 5 {
+				t.Errorf("stripping the org field should blind the method: %.1f%%", r.Recall[hg.Google])
+			}
+		case "anonymize debug headers":
+			if r.Recall[hg.Google] > 5 {
+				t.Errorf("anonymized headers should kill confirmation: %.1f%%", r.Recall[hg.Google])
+			}
+			// ... except for Netflix, whose default-nginx rule matches
+			// generic server software anyway — an emergent weakness of
+			// that §4.4 special case.
+			if r.Recall[hg.Netflix] < 30 {
+				t.Errorf("Netflix nginx rule should survive anonymization: %.1f%%", r.Recall[hg.Netflix])
+			}
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	e := testEnv(t)
+	dir := t.TempDir()
+	// Every CSV-capable experiment must export parsable tables with a
+	// header row and at least one data row.
+	exported := 0
+	for _, exp := range Experiments() {
+		res := exp.Run(e)
+		files, err := WriteCSV(dir, res)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		exported += len(files)
+	}
+	if exported < 10 {
+		t.Fatalf("only %d CSV files exported", exported)
+	}
+	// Spot-check fig3's table.
+	f3, _ := ByID("fig3")
+	files, err := WriteCSV(dir, f3.Run(e))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("fig3 export: %v %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != timeline.Count()+1 {
+		t.Fatalf("fig3 csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "snapshot,google,facebook") {
+		t.Fatalf("fig3 header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2013-10,") {
+		t.Fatalf("fig3 first row = %q", lines[1])
+	}
+	// Non-CSV experiments export nothing, without error.
+	vc, _ := ByID("val-cross")
+	files, err = WriteCSV(dir, vc.Run(e))
+	if err != nil || len(files) != 0 {
+		t.Fatalf("val-cross should export nothing: %v %v", files, err)
+	}
+}
+
+func TestV6Gap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds a world")
+	}
+	e := testEnv(t)
+	v := V6Gap(e)
+	if len(v.Rows) != 4 {
+		t.Fatalf("v6gap rows = %d", len(v.Rows))
+	}
+	for _, r := range v.Rows {
+		if r.Truth == 0 {
+			t.Fatalf("%v: empty truth", r.HG)
+		}
+		// Recall must be capped roughly by the v6-only hosting share.
+		ceiling := 100 * float64(r.Truth-r.V6OnlyHosting) / float64(r.Truth)
+		if r.Recall > ceiling+0.01 {
+			t.Errorf("%v: recall %.1f%% above the v6 ceiling %.1f%%", r.HG, r.Recall, ceiling)
+		}
+	}
+	// At least one hypergiant must actually have v6-only hosts at this
+	// scale, or the experiment is vacuous.
+	anyV6 := false
+	for _, r := range v.Rows {
+		if r.V6OnlyHosting > 0 {
+			anyV6 = true
+		}
+	}
+	if !anyV6 {
+		t.Error("no IPv6-only hosting ASes in the scenario")
+	}
+}
+
+func TestMethodsComparison(t *testing.T) {
+	e := testEnv(t)
+	m := Methods(e)
+	idx := func(s timeline.Snapshot) int {
+		for i, x := range m.Snapshots {
+			if x == s {
+				return i
+			}
+		}
+		t.Fatalf("snapshot %v not sampled", s)
+		return -1
+	}
+	// Pre-lockdown ECS tracks the certificate method for Google.
+	pre := idx(9)
+	if m.GoogleECS[pre] == 0 {
+		t.Fatal("ECS found nothing pre-lockdown")
+	}
+	ratio := float64(m.GoogleECS[pre]) / float64(m.GoogleCerts[pre])
+	if ratio < 0.6 || ratio > 1.3 {
+		t.Errorf("pre-lockdown ECS/certs ratio = %.2f", ratio)
+	}
+	// Post-lockdown ECS collapses while the certificate method keeps
+	// growing — the paper's generality argument.
+	post := idx(24)
+	if m.GoogleECS[post] > m.GoogleCerts[post]/10 {
+		t.Errorf("ECS should collapse after 2016: %d vs certs %d", m.GoogleECS[post], m.GoogleCerts[post])
+	}
+	if m.GoogleCerts[post] <= m.GoogleCerts[pre] {
+		t.Error("certificate method should keep growing")
+	}
+	// FNA mapping only works once the CDN exists, then tracks certs.
+	if m.FacebookFNA[idx(4)] != 0 {
+		t.Error("FNA found sites before the CDN existed")
+	}
+	last := idx(30)
+	if m.FacebookFNA[last] == 0 {
+		t.Fatal("FNA found nothing at the end")
+	}
+	fnaRatio := float64(m.FacebookFNA[last]) / float64(m.FacebookCerts[last])
+	if fnaRatio < 0.6 || fnaRatio > 1.3 {
+		t.Errorf("FNA/certs ratio = %.2f", fnaRatio)
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds worlds")
+	}
+	e := testEnv(t)
+	res := Sensitivity(e)
+	if len(res.Rows) != 3 {
+		t.Fatalf("sensitivity rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Ranking: Google first, Akamai last among the top-4.
+		g := r.Confirmed[hg.Google]
+		if g == 0 {
+			t.Fatalf("%s: empty Google footprint", r.Label)
+		}
+		for _, id := range []hg.ID{hg.Netflix, hg.Facebook, hg.Akamai} {
+			if r.Confirmed[id] > g {
+				t.Errorf("%s: %v exceeds Google", r.Label, id)
+			}
+		}
+		if r.GoogleOverAkamai < 2 || r.GoogleOverAkamai > 6 {
+			t.Errorf("%s: Google/Akamai ratio = %.2f, paper ≈ 3.5", r.Label, r.GoogleOverAkamai)
+		}
+		if r.AkamaiDecline <= 1.0 {
+			t.Errorf("%s: Akamai peak/end = %.2f, should exceed 1", r.Label, r.AkamaiDecline)
+		}
+	}
+}
+
+func TestWhatIf(t *testing.T) {
+	e := testEnv(t)
+	w := WhatIf(e)
+	if len(w.Rows) == 0 {
+		t.Fatal("no what-if recommendations")
+	}
+	for _, r := range w.Rows {
+		if r.After < r.Before {
+			t.Errorf("%v in %s: coverage dropped %.1f → %.1f", r.HG, r.Country, r.Before, r.After)
+		}
+		if r.After > 100 {
+			t.Errorf("%v: coverage above 100%%", r.HG)
+		}
+		if len(r.Picks) == 0 {
+			t.Errorf("%v in %s: no picks", r.HG, r.Country)
+			continue
+		}
+		// Picks are ranked by share and none already hosts.
+		for i := 1; i < len(r.Picks); i++ {
+			if r.Picks[i].Share > r.Picks[i-1].Share {
+				t.Errorf("%v: picks not ranked by share", r.HG)
+			}
+		}
+		hosting := hostingSetAt(e, r.HG, LastSnapshot())
+		for _, p := range r.Picks {
+			if _, already := hosting[p.AS]; already {
+				t.Errorf("%v: pick AS%d already hosts", r.HG, p.AS)
+			}
+		}
+	}
+}

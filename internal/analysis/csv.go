@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+)
+
+// CSVTables is implemented by experiment results that can export their
+// underlying data as CSV tables (name → rows including a header row),
+// so the paper's figures can be re-plotted with any tool.
+type CSVTables interface {
+	CSVTables() map[string][][]string
+}
+
+// WriteCSV exports every table of a CSVTables-implementing result under
+// dir, one file per table.
+func WriteCSV(dir string, r Renderer) ([]string, error) {
+	ct, ok := r.(CSVTables)
+	if !ok {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	names := make([]string, 0)
+	tables := ct.CSVTables()
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		w := csv.NewWriter(f)
+		if err := w.WriteAll(tables[name]); err != nil {
+			f.Close()
+			return written, err
+		}
+		w.Flush()
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}
+
+// seriesTable renders labelled per-snapshot series as CSV rows.
+func seriesTable(labels []string, series [][]int) [][]string {
+	head := []string{"snapshot"}
+	head = append(head, labels...)
+	rows := [][]string{head}
+	for _, s := range timeline.All() {
+		row := []string{s.Label()}
+		for _, col := range series {
+			row = append(row, fmt.Sprint(col[s]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSVTables implements CSVTables for Figure 2.
+func (f *Fig2Result) CSVTables() map[string][][]string {
+	rows := [][]string{{"snapshot", "total_ips", "pct_hg_onnet", "pct_hg_offnet"}}
+	for _, s := range timeline.All() {
+		rows = append(rows, []string{
+			s.Label(), fmt.Sprint(f.TotalIPs[s]),
+			fmt.Sprintf("%.3f", f.PctOnNetHG[s]), fmt.Sprintf("%.3f", f.PctOffNetHG[s]),
+		})
+	}
+	return map[string][][]string{"fig2_ip_timeline": rows}
+}
+
+// CSVTables implements CSVTables for Figure 3.
+func (f *Fig3Result) CSVTables() map[string][][]string {
+	return map[string][][]string{
+		"fig3_growth": seriesTable(
+			[]string{"google", "facebook", "akamai", "netflix_initial", "netflix_expired", "netflix_nontls"},
+			[][]int{f.Google, f.Facebook, f.Akamai, f.NetflixInitial, f.NetflixExpired, f.NetflixNonTLS},
+		),
+	}
+}
+
+// CSVTables implements CSVTables for Figure 4.
+func (f *Fig4Result) CSVTables() map[string][][]string {
+	out := make(map[string][][]string)
+	for id, series := range f.PerHG {
+		labels := make([]string, len(series))
+		cols := make([][]int, len(series))
+		for i, s := range series {
+			labels[i] = fmt.Sprintf("%s_%s", s.Vendor, s.Mode)
+			cols[i] = s.Counts
+		}
+		out["fig4_"+idSlug(id)] = seriesTable(labels, cols)
+	}
+	return out
+}
+
+// CSVTables implements CSVTables for Figure 5.
+func (f *Fig5Result) CSVTables() map[string][][]string {
+	out := make(map[string][][]string)
+	for id, series := range f.PerHG {
+		labels := make([]string, 0, astopo.NumCategories)
+		cols := make([][]int, 0, astopo.NumCategories)
+		for _, c := range astopo.AllCategories() {
+			labels = append(labels, c.String())
+			cols = append(cols, series[c])
+		}
+		out["fig5_"+idSlug(id)] = seriesTable(labels, cols)
+	}
+	return out
+}
+
+// CSVTables implements CSVTables for Figure 6.
+func (f *Fig6Result) CSVTables() map[string][][]string {
+	out := make(map[string][][]string)
+	for _, cont := range astopo.AllContinents() {
+		labels := make([]string, 0, len(fig6HGs))
+		cols := make([][]int, 0, len(fig6HGs))
+		for _, id := range fig6HGs {
+			labels = append(labels, idSlug(id))
+			cols = append(cols, f.Counts[cont][id])
+		}
+		out["fig6_"+slug(cont.String())] = seriesTable(labels, cols)
+	}
+	return out
+}
+
+// CSVTables implements CSVTables for the coverage maps of Figure 7.
+func (f *Fig7Result) CSVTables() map[string][][]string {
+	out := make(map[string][][]string)
+	for _, m := range f.Maps {
+		out["fig7_"+idSlug(m.HG)] = coverageTable(m)
+	}
+	return out
+}
+
+// CSVTables implements CSVTables for Figure 8.
+func (f *Fig8Result) CSVTables() map[string][][]string {
+	return map[string][][]string{
+		"fig8_google_direct": coverageTable(f.Direct),
+		"fig8_google_cones":  coverageTable(f.Cones),
+	}
+}
+
+// CSVTables implements CSVTables for Figure 9.
+func (f *Fig9Result) CSVTables() map[string][][]string {
+	return map[string][][]string{
+		"fig9_facebook_2017": coverageTable(f.Early),
+		"fig9_facebook_2021": coverageTable(f.Late),
+	}
+}
+
+func coverageTable(m CoverageMap) [][]string {
+	rows := [][]string{{"country", "coverage_pct"}}
+	var codes []string
+	for code := range m.ByCountry {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		rows = append(rows, []string{code, fmt.Sprintf("%.2f", m.ByCountry[code])})
+	}
+	rows = append(rows, []string{"WORLD", fmt.Sprintf("%.2f", m.World)})
+	return rows
+}
+
+// CSVTables implements CSVTables for Table 2.
+func (t *Table2Result) CSVTables() map[string][][]string {
+	rows := [][]string{{"corpus", "cert_ips", "cert_ases", "unique_ases", "any_hg_ases", "google", "netflix", "facebook", "akamai"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			string(r.Vendor), fmt.Sprint(r.CertIPs), fmt.Sprint(r.CertASes),
+			fmt.Sprint(r.UniqueASes), fmt.Sprint(r.AnyHGASes),
+			fmt.Sprint(r.PerTop4ASes[hg.Google]), fmt.Sprint(r.PerTop4ASes[hg.Netflix]),
+			fmt.Sprint(r.PerTop4ASes[hg.Facebook]), fmt.Sprint(r.PerTop4ASes[hg.Akamai]),
+		})
+	}
+	return map[string][][]string{"table2_corpuses": rows}
+}
+
+// CSVTables implements CSVTables for Table 3.
+func (t *Table3Result) CSVTables() map[string][][]string {
+	rows := [][]string{{"rank", "hypergiant", "first", "first_certs_only", "max", "max_at", "last", "last_certs_only"}}
+	for i, r := range t.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(i + 1), r.HG.String(),
+			fmt.Sprint(r.First), fmt.Sprint(r.FirstCertsOnly),
+			fmt.Sprint(r.Max), r.MaxAt.Label(),
+			fmt.Sprint(r.Last), fmt.Sprint(r.LastCertsOnly),
+		})
+	}
+	return map[string][][]string{"table3_footprints": rows}
+}
+
+func idSlug(id hg.ID) string { return slug(id.String()) }
+
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,171 @@
+// Package analysis regenerates every table and figure of the paper's
+// evaluation, plus the §5 validation experiments, by wiring the world
+// simulator, the scan-campaign emulators, the §4 inference pipeline, and
+// the population dataset together. Each experiment is a function from an
+// Env to a renderable result; cmd/experiments and the repository
+// benchmarks are thin wrappers around this package.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/core"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/population"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+// Env bundles the shared state experiments run against. Studies are
+// executed lazily and cached per vendor so a batch of experiments pays
+// for each longitudinal pass once.
+type Env struct {
+	World    *worldsim.World
+	Pipeline *core.Pipeline
+	Pop      *population.Dataset
+
+	mu      sync.Mutex
+	studies map[corpus.Vendor]*core.StudyResult
+	cats    map[timeline.Snapshot]map[astopo.ASN]astopo.Category
+}
+
+// NewEnv builds a world from cfg and the pipeline bound to its datasets.
+func NewEnv(cfg worldsim.Config) (*Env, error) {
+	w, err := worldsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{
+		World: w,
+		Pipeline: &core.Pipeline{
+			Trust:  w.TrustStore(),
+			Orgs:   w.Orgs(),
+			Mapper: func(s timeline.Snapshot) core.IPMapper { return w.IP2AS(s) },
+			Opts:   core.DefaultOptions(),
+		},
+		Pop:     population.Build(w.Graph(), cfg.Seed),
+		studies: make(map[corpus.Vendor]*core.StudyResult),
+		cats:    make(map[timeline.Snapshot]map[astopo.ASN]astopo.Category),
+	}
+	return e, nil
+}
+
+// profileFor maps a vendor back to its campaign profile.
+func profileFor(v corpus.Vendor) scanners.Profile {
+	switch v {
+	case corpus.Censys:
+		return scanners.CensysProfile()
+	case corpus.Certigo:
+		return scanners.CertigoProfile()
+	default:
+		return scanners.Rapid7Profile()
+	}
+}
+
+// Study runs (or returns the cached) longitudinal inference over one
+// vendor's corpus.
+func (e *Env) Study(v corpus.Vendor) *core.StudyResult {
+	e.mu.Lock()
+	if sr, ok := e.studies[v]; ok {
+		e.mu.Unlock()
+		return sr
+	}
+	e.mu.Unlock()
+	profile := profileFor(v)
+	sr := e.Pipeline.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
+		return scanners.Scan(e.World, profile, s)
+	})
+	e.mu.Lock()
+	e.studies[v] = sr
+	e.mu.Unlock()
+	return sr
+}
+
+// Scan produces one vendor snapshot (uncached; corpuses are large).
+func (e *Env) Scan(v corpus.Vendor, s timeline.Snapshot) *corpus.Snapshot {
+	return scanners.Scan(e.World, profileFor(v), s)
+}
+
+// CategoryOf returns the AS's size category at s, cached per snapshot.
+func (e *Env) CategoryOf(as astopo.ASN, s timeline.Snapshot) astopo.Category {
+	e.mu.Lock()
+	m, ok := e.cats[s]
+	if !ok {
+		m = make(map[astopo.ASN]astopo.Category)
+		e.cats[s] = m
+	}
+	cat, ok := m[as]
+	e.mu.Unlock()
+	if ok {
+		return cat
+	}
+	cat = e.World.Graph().CategoryOf(as, s)
+	e.mu.Lock()
+	m[as] = cat
+	e.mu.Unlock()
+	return cat
+}
+
+// LastSnapshot is the final study month (2021-04).
+func LastSnapshot() timeline.Snapshot { return timeline.Snapshot(timeline.Count() - 1) }
+
+// Nov2019 is the month of the Table 2 three-corpus comparison.
+const Nov2019 = timeline.Snapshot(24) // 2019-10 grid point covering the Nov 2019 scans
+
+// Renderer is anything an experiment returns: a human-readable
+// reproduction of the table or figure.
+type Renderer interface {
+	Render() string
+}
+
+// Experiment is one registered table/figure/validation reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Env) Renderer
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(*Env) Renderer) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists every registered experiment in a stable order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// seriesHeader renders the snapshot labels used across figure tables.
+func seriesHeader() string {
+	out := fmt.Sprintf("%-12s", "snapshot")
+	for _, s := range timeline.All() {
+		out += fmt.Sprintf("%9s", s.Label())
+	}
+	return out
+}
+
+// seriesRow renders one labelled int series.
+func seriesRow(label string, values []int) string {
+	out := fmt.Sprintf("%-12s", label)
+	for _, v := range values {
+		out += fmt.Sprintf("%9d", v)
+	}
+	return out
+}

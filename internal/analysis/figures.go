@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/report"
+	"offnetscope/internal/timeline"
+)
+
+func init() {
+	register("fig2", "Figure 2: IPs with certificates and HG share over time", func(e *Env) Renderer { return Fig2(e) })
+	register("fig3", "Figure 3: top-4 off-net footprint growth", func(e *Env) Renderer { return Fig3(e) })
+	register("fig4", "Figure 4: Rapid7 vs Censys, certs vs headers", func(e *Env) Renderer { return Fig4(e) })
+	register("fig5", "Figure 5: growth by AS customer-cone category", func(e *Env) Renderer { return Fig5(e) })
+	register("fig10", "Figure 10: co-hosting of the top-4 hypergiants", func(e *Env) Renderer { return Fig10(e) })
+	register("fig11", "Figure 11: top-10 certificate IP groups", func(e *Env) Renderer { return Fig11(e) })
+	register("fig14", "Figure 14: willingness to host across snapshots", func(e *Env) Renderer { return Fig14(e) })
+}
+
+// Fig2Result reproduces Figure 2: the raw certificate population and the
+// share held by hypergiants, split on-net vs off-net.
+type Fig2Result struct {
+	TotalIPs    []int
+	PctOnNetHG  []float64
+	PctOffNetHG []float64
+}
+
+// Fig2 computes the series from the Rapid7 study.
+func Fig2(e *Env) *Fig2Result {
+	sr := e.Study(corpus.Rapid7)
+	out := &Fig2Result{
+		TotalIPs:    make([]int, timeline.Count()),
+		PctOnNetHG:  make([]float64, timeline.Count()),
+		PctOffNetHG: make([]float64, timeline.Count()),
+	}
+	for i, r := range sr.Results {
+		if r == nil || r.TotalCertIPs == 0 {
+			continue
+		}
+		out.TotalIPs[i] = r.TotalCertIPs
+		out.PctOnNetHG[i] = 100 * float64(r.HGOnNetCertIPs) / float64(r.TotalCertIPs)
+		out.PctOffNetHG[i] = 100 * float64(r.HGOffNetCertIPs) / float64(r.TotalCertIPs)
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — IPs with certificates (raw Rapid7) and % serving HG certificates\n")
+	b.WriteString(seriesHeader() + "\n")
+	b.WriteString(seriesRow("total IPs", f.TotalIPs) + "\n")
+	b.WriteString(pctRow("% HG on-net", f.PctOnNetHG) + "\n")
+	b.WriteString(pctRow("% HG off-net", f.PctOffNetHG) + "\n")
+	b.WriteString("shape:\n" + report.SparkRow("total IPs", f.TotalIPs) + "\n")
+	return b.String()
+}
+
+func pctRow(label string, values []float64) string {
+	out := fmt.Sprintf("%-12s", label)
+	for _, v := range values {
+		out += fmt.Sprintf("%9.2f", v)
+	}
+	return out
+}
+
+// Fig3Result reproduces Figure 3: top-4 growth with the Netflix
+// envelope variants.
+type Fig3Result struct {
+	Google, Facebook, Akamai                      []int
+	NetflixInitial, NetflixExpired, NetflixNonTLS []int
+}
+
+// Fig3 extracts the growth series from the Rapid7 study.
+func Fig3(e *Env) *Fig3Result {
+	sr := e.Study(corpus.Rapid7)
+	return &Fig3Result{
+		Google:         sr.ConfirmedSeries(hg.Google),
+		Facebook:       sr.ConfirmedSeries(hg.Facebook),
+		Akamai:         sr.ConfirmedSeries(hg.Akamai),
+		NetflixInitial: sr.NetflixInitial,
+		NetflixExpired: sr.NetflixWithExpired,
+		NetflixNonTLS:  sr.NetflixNonTLS,
+	}
+}
+
+// Render implements Renderer.
+func (f *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — off-net footprint growth of the top-4 hypergiants (# ASes)\n")
+	b.WriteString(seriesHeader() + "\n")
+	b.WriteString(seriesRow("Google", f.Google) + "\n")
+	b.WriteString(seriesRow("Facebook", f.Facebook) + "\n")
+	b.WriteString(seriesRow("Akamai", f.Akamai) + "\n")
+	b.WriteString(seriesRow("NF initial", f.NetflixInitial) + "\n")
+	b.WriteString(seriesRow("NF w/exp", f.NetflixExpired) + "\n")
+	b.WriteString(seriesRow("NF non-tls", f.NetflixNonTLS) + "\n")
+	b.WriteString("shape:\n")
+	b.WriteString(report.SparkRow("Google", f.Google) + "\n")
+	b.WriteString(report.SparkRow("Facebook", f.Facebook) + "\n")
+	b.WriteString(report.SparkRow("Akamai", f.Akamai) + "\n")
+	b.WriteString(report.SparkRow("NF initial", f.NetflixInitial) + "\n")
+	b.WriteString(report.SparkRow("NF non-tls", f.NetflixNonTLS) + "\n")
+	return b.String()
+}
+
+// Fig4Series is one (vendor, mode) growth line for one hypergiant.
+type Fig4Series struct {
+	Vendor corpus.Vendor
+	Mode   string // "certs", "either", "both"
+	Counts []int
+}
+
+// Fig4Result reproduces Figure 4 for Google, Facebook, and Akamai.
+type Fig4Result struct {
+	PerHG map[hg.ID][]Fig4Series
+}
+
+// Fig4 compares Rapid7 and Censys, certificates alone vs with headers.
+func Fig4(e *Env) *Fig4Result {
+	out := &Fig4Result{PerHG: make(map[hg.ID][]Fig4Series)}
+	for _, v := range []corpus.Vendor{corpus.Rapid7, corpus.Censys} {
+		sr := e.Study(v)
+		for _, id := range []hg.ID{hg.Google, hg.Facebook, hg.Akamai} {
+			certs := make([]int, timeline.Count())
+			either := make([]int, timeline.Count())
+			both := make([]int, timeline.Count())
+			for i, r := range sr.Results {
+				if r == nil {
+					continue
+				}
+				hr := r.PerHG[id]
+				certs[i] = len(hr.CandidateASes)
+				either[i] = len(hr.ConfirmedByEitherASes)
+				both[i] = len(hr.ConfirmedByBothASes)
+			}
+			out.PerHG[id] = append(out.PerHG[id],
+				Fig4Series{Vendor: v, Mode: "certs", Counts: certs},
+				Fig4Series{Vendor: v, Mode: "either", Counts: either},
+				Fig4Series{Vendor: v, Mode: "both", Counts: both},
+			)
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — dataset comparison (# ASes): certs only vs certs+headers\n")
+	for _, id := range []hg.ID{hg.Google, hg.Facebook, hg.Akamai} {
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", id, seriesHeader())
+		for _, s := range f.PerHG[id] {
+			b.WriteString(seriesRow(fmt.Sprintf("%s/%s", s.Vendor[:2], s.Mode), s.Counts) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces Figure 5: per-snapshot footprints grouped by AS
+// customer-cone category, for the top-4 hypergiants.
+type Fig5Result struct {
+	// PerHG[id][category][snapshot]
+	PerHG map[hg.ID][astopo.NumCategories][]int
+	// BasePopulation is the category share of all active ASes at the
+	// last snapshot, for the §6.3 over/under-representation discussion.
+	BasePopulation [astopo.NumCategories]float64
+}
+
+// Fig5 classifies every confirmed hosting AS by its cone size.
+func Fig5(e *Env) *Fig5Result {
+	sr := e.Study(corpus.Rapid7)
+	out := &Fig5Result{PerHG: make(map[hg.ID][astopo.NumCategories][]int)}
+	for _, id := range hg.Top4() {
+		var series [astopo.NumCategories][]int
+		for c := range series {
+			series[c] = make([]int, timeline.Count())
+		}
+		for _, s := range timeline.All() {
+			for _, sets := range []map[astopo.ASN]struct{}{top4SetsAt(sr, s)[id]} {
+				for as := range sets {
+					series[e.CategoryOf(as, s)][s]++
+				}
+			}
+		}
+		out.PerHG[id] = series
+	}
+	out.BasePopulation = e.World.Graph().CategoryShares(LastSnapshot())
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — footprint by AS customer-cone category (# ASes)\n")
+	for _, id := range hg.Top4() {
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", id, seriesHeader())
+		series := f.PerHG[id]
+		for _, c := range astopo.AllCategories() {
+			b.WriteString(seriesRow(c.String(), series[c]) + "\n")
+		}
+	}
+	b.WriteString("base AS population shares: ")
+	for _, c := range astopo.AllCategories() {
+		fmt.Fprintf(&b, "%s=%.1f%% ", c, 100*f.BasePopulation[c])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig10Result reproduces Figure 10: how many of the top-4 hypergiants
+// each hosting AS runs.
+type Fig10Result struct {
+	// Dist[s][k] is the number of ASes hosting exactly k+1 of the top-4
+	// at snapshot s.
+	Dist [][4]int
+	// PctTop4 is the share of all HG-hosting ASes that host at least
+	// one top-4 HG (the ~97% annotations).
+	PctTop4 []float64
+	// Persistent (Fig 10a): among ASes hosting a top-4 HG in *every*
+	// snapshot they appear, the distribution of top-4 count at the
+	// first and last snapshots.
+	PersistentFirst, PersistentLast [4]int
+}
+
+// Fig10 computes co-hosting distributions.
+func Fig10(e *Env) *Fig10Result {
+	sr := e.Study(corpus.Rapid7)
+	out := &Fig10Result{
+		Dist:    make([][4]int, timeline.Count()),
+		PctTop4: make([]float64, timeline.Count()),
+	}
+	alwaysHosting := make(map[astopo.ASN]int) // AS → #snapshots hosting ≥1 top-4
+	for _, s := range timeline.All() {
+		r := sr.Results[s]
+		if r == nil {
+			continue
+		}
+		sets := top4SetsAt(sr, s)
+		counts := make(map[astopo.ASN]int)
+		for _, id := range hg.Top4() {
+			for as := range sets[id] {
+				counts[as]++
+			}
+		}
+		for as, k := range counts {
+			if k >= 1 && k <= 4 {
+				out.Dist[s][k-1]++
+			}
+			alwaysHosting[as]++
+		}
+		anyHG := make(map[astopo.ASN]struct{})
+		for _, hr := range r.PerHG {
+			for as := range hr.ConfirmedASes {
+				anyHG[as] = struct{}{}
+			}
+		}
+		for as := range r.PerHG[hg.Netflix].ExpiredASes {
+			anyHG[as] = struct{}{}
+		}
+		if len(anyHG) > 0 {
+			out.PctTop4[s] = 100 * float64(len(counts)) / float64(len(anyHG))
+			if out.PctTop4[s] > 100 {
+				out.PctTop4[s] = 100
+			}
+		}
+	}
+	// Persistent hosts: hosting in every snapshot of the window.
+	firstSets := top4SetsAt(sr, 0)
+	lastSets := top4SetsAt(sr, LastSnapshot())
+	for as, n := range alwaysHosting {
+		if n < timeline.Count() {
+			continue
+		}
+		count := func(sets map[hg.ID]map[astopo.ASN]struct{}) int {
+			k := 0
+			for _, id := range hg.Top4() {
+				if _, ok := sets[id][as]; ok {
+					k++
+				}
+			}
+			return k
+		}
+		if k := count(firstSets); k >= 1 {
+			out.PersistentFirst[k-1]++
+		}
+		if k := count(lastSets); k >= 1 {
+			out.PersistentLast[k-1]++
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10b — ASes by number of top-4 HGs hosted (and % of all HG hosts)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %9s\n", "snapshot", "1 HG", "2 HGs", "3 HGs", "4 HGs", "% top-4")
+	for _, s := range timeline.All() {
+		d := f.Dist[s]
+		fmt.Fprintf(&b, "%-10s %8d %8d %8d %8d %8.1f%%\n", s.Label(), d[0], d[1], d[2], d[3], f.PctTop4[s])
+	}
+	fmt.Fprintf(&b, "Figure 10a — persistent hosts: first %v, last %v (by #top-4 hosted 1..4)\n",
+		f.PersistentFirst, f.PersistentLast)
+	return b.String()
+}
+
+// Fig11Result reproduces Figure 11: the share of each hypergiant's
+// serving IPs covered by its ten largest certificate groups.
+type Fig11Result struct {
+	// Shares[id][snapshot] is the top-10 groups' percentage shares,
+	// largest first.
+	Shares map[hg.ID][][]float64
+}
+
+// Fig11 measures certificate-group concentration for Google and Facebook.
+func Fig11(e *Env) *Fig11Result {
+	sr := e.Study(corpus.Rapid7)
+	out := &Fig11Result{Shares: make(map[hg.ID][][]float64)}
+	for _, id := range []hg.ID{hg.Google, hg.Facebook} {
+		perSnap := make([][]float64, timeline.Count())
+		for i, r := range sr.Results {
+			if r == nil {
+				continue
+			}
+			groups := r.PerHG[id].CertIPGroups
+			var counts []int
+			total := 0
+			for _, c := range groups {
+				counts = append(counts, c)
+				total += c
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+			if len(counts) > 10 {
+				counts = counts[:10]
+			}
+			shares := make([]float64, len(counts))
+			for j, c := range counts {
+				if total > 0 {
+					shares[j] = 100 * float64(c) / float64(total)
+				}
+			}
+			perSnap[i] = shares
+		}
+		out.Shares[id] = perSnap
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — % of serving IPs per top-10 certificate group\n")
+	for _, id := range []hg.ID{hg.Google, hg.Facebook} {
+		fmt.Fprintf(&b, "--- %s ---\n", id)
+		for _, s := range timeline.All() {
+			shares := f.Shares[id][s]
+			fmt.Fprintf(&b, "%-10s", s.Label())
+			for _, sh := range shares {
+				fmt.Fprintf(&b, " %5.1f", sh)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig14Result reproduces Figure 14: ASes hosting at least one top-4 HG
+// in at least 25% / 50% of the snapshots, by number of top-4 HGs hosted
+// at their peak.
+type Fig14Result struct {
+	AtLeast25, AtLeast50 [4]int
+	Total25, Total50     int
+}
+
+// Fig14 computes hosting persistence distributions.
+func Fig14(e *Env) *Fig14Result {
+	sr := e.Study(corpus.Rapid7)
+	hostedSnapshots := make(map[astopo.ASN]int)
+	maxHGs := make(map[astopo.ASN]int)
+	snaps := 0
+	for _, s := range timeline.All() {
+		if sr.Results[s] == nil {
+			continue
+		}
+		snaps++
+		sets := top4SetsAt(sr, s)
+		counts := make(map[astopo.ASN]int)
+		for _, id := range hg.Top4() {
+			for as := range sets[id] {
+				counts[as]++
+			}
+		}
+		for as, k := range counts {
+			hostedSnapshots[as]++
+			if k > maxHGs[as] {
+				maxHGs[as] = k
+			}
+		}
+	}
+	out := &Fig14Result{}
+	for as, n := range hostedSnapshots {
+		k := maxHGs[as]
+		if k < 1 || k > 4 {
+			continue
+		}
+		if float64(n) >= 0.25*float64(snaps) {
+			out.AtLeast25[k-1]++
+			out.Total25++
+		}
+		if float64(n) >= 0.50*float64(snaps) {
+			out.AtLeast50[k-1]++
+			out.Total50++
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig14Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 14 — ASes hosting ≥1 top-4 HG by persistence (by peak #top-4 hosted 1..4)\n")
+	fmt.Fprintf(&b, "≥25%% of snapshots: %v (total %d)\n", f.AtLeast25, f.Total25)
+	fmt.Fprintf(&b, "≥50%% of snapshots: %v (total %d)\n", f.AtLeast50, f.Total50)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"offnetscope/internal/core"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+func init() {
+	register("hideseek", "§8 hide-and-seek: how evasion strategies degrade the methodology", func(e *Env) Renderer { return HideSeek(e) })
+}
+
+// HideSeekRow is one evasion scenario's effect on the top-4 inference.
+type HideSeekRow struct {
+	Scenario string
+	// Confirmed[id] is the confirmed off-net AS count under the scenario.
+	Confirmed map[hg.ID]int
+	// Recall is measured against the scenario world's ground truth.
+	Recall map[hg.ID]float64
+}
+
+// HideSeekResult quantifies the §8 discussion: null default
+// certificates blind the corpus-based approach almost completely,
+// stripping the Organization field breaks keyword matching, and header
+// anonymization only removes the confirmation step.
+type HideSeekResult struct {
+	Snapshot timeline.Snapshot
+	Rows     []HideSeekRow
+}
+
+// HideSeek rebuilds the world under each §8 countermeasure and re-runs
+// the pipeline at the final snapshot.
+func HideSeek(e *Env) *HideSeekResult {
+	s := LastSnapshot()
+	base := e.World.Config()
+	scenarios := []struct {
+		name string
+		hide worldsim.HideAndSeek
+	}{
+		{"baseline (no evasion)", worldsim.HideAndSeek{}},
+		{"null default certificates", worldsim.HideAndSeek{NullDefaultCertFrac: 0.95}},
+		{"strip Organization field", worldsim.HideAndSeek{StripOrganization: true}},
+		{"anonymize debug headers", worldsim.HideAndSeek{AnonymizeHeaders: true}},
+	}
+	out := &HideSeekResult{Snapshot: s}
+	for _, sc := range scenarios {
+		cfg := base
+		cfg.Hide = sc.hide
+		w, err := worldsim.New(cfg)
+		if err != nil {
+			continue
+		}
+		pipeline := &core.Pipeline{
+			Trust:  w.TrustStore(),
+			Orgs:   w.Orgs(),
+			Mapper: func(s timeline.Snapshot) core.IPMapper { return w.IP2AS(s) },
+			Opts:   core.DefaultOptions(),
+		}
+		res := pipeline.Run(scanners.Scan(w, scanners.Rapid7Profile(), s))
+		row := HideSeekRow{Scenario: sc.name, Confirmed: make(map[hg.ID]int), Recall: make(map[hg.ID]float64)}
+		for _, id := range hg.Top4() {
+			inferred := res.PerHG[id].ConfirmedASes
+			row.Confirmed[id] = len(inferred)
+			truth := w.TrueOffNetASes(id, s)
+			hits := 0
+			for _, as := range truth {
+				if _, ok := inferred[as]; ok {
+					hits++
+				}
+			}
+			if len(truth) > 0 {
+				row.Recall[id] = 100 * float64(hits) / float64(len(truth))
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (h *HideSeekResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hide-and-seek scenarios @ %s (confirmed ASes / recall vs scenario ground truth)\n", h.Snapshot.Label())
+	fmt.Fprintf(&b, "%-28s", "scenario")
+	for _, id := range hg.Top4() {
+		fmt.Fprintf(&b, " %16s", id)
+	}
+	b.WriteString("\n")
+	for _, r := range h.Rows {
+		fmt.Fprintf(&b, "%-28s", r.Scenario)
+		for _, id := range hg.Top4() {
+			fmt.Fprintf(&b, " %7d (%5.1f%%)", r.Confirmed[id], r.Recall[id])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

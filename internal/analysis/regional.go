@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/report"
+	"offnetscope/internal/timeline"
+)
+
+func init() {
+	register("fig6", "Figure 6: regional growth per continent", func(e *Env) Renderer { return Fig6(e) })
+	register("fig13", "Figure 13: growth per continent and network type", func(e *Env) Renderer { return Fig13(e) })
+}
+
+// fig6HGs are the hypergiants plotted in Figure 6 (the top-4 plus
+// Alibaba, whose Asia growth the paper highlights).
+var fig6HGs = []hg.ID{hg.Google, hg.Akamai, hg.Netflix, hg.Facebook, hg.Alibaba}
+
+// Fig6Result reproduces Figure 6: footprints per continent over time.
+type Fig6Result struct {
+	// Counts[continent][hg index][snapshot]
+	Counts [astopo.NumContinents]map[hg.ID][]int
+}
+
+// Fig6 assigns every confirmed hosting AS to its continent.
+func Fig6(e *Env) *Fig6Result {
+	sr := e.Study(corpus.Rapid7)
+	out := &Fig6Result{}
+	for c := range out.Counts {
+		out.Counts[c] = make(map[hg.ID][]int, len(fig6HGs))
+		for _, id := range fig6HGs {
+			out.Counts[c][id] = make([]int, timeline.Count())
+		}
+	}
+	g := e.World.Graph()
+	for _, s := range timeline.All() {
+		r := sr.Results[s]
+		if r == nil {
+			continue
+		}
+		for _, id := range fig6HGs {
+			set := r.PerHG[id].ConfirmedASes
+			for as := range set {
+				if cont, ok := g.ContinentOf(as); ok {
+					out.Counts[cont][id][s]++
+				}
+			}
+			if id == hg.Netflix {
+				for as := range r.PerHG[id].ExpiredASes {
+					if cont, ok := g.ContinentOf(as); ok {
+						out.Counts[cont][id][s]++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — off-net footprint per continent (# ASes)\n")
+	for _, cont := range astopo.AllContinents() {
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", cont, seriesHeader())
+		for _, id := range fig6HGs {
+			b.WriteString(seriesRow(id.String(), f.Counts[cont][id]) + "\n")
+		}
+		for _, id := range fig6HGs {
+			b.WriteString(report.SparkRow(id.String(), f.Counts[cont][id]) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// fig13Categories are the network types of Figure 13 (XLarge is folded
+// into Large, as in the paper's appendix).
+var fig13Categories = []astopo.Category{astopo.Stub, astopo.Small, astopo.Medium, astopo.Large}
+
+// Fig13Result reproduces Figure 13: per continent × network type growth
+// for the top-4 hypergiants.
+type Fig13Result struct {
+	// Counts[hg][category][continent][snapshot]
+	Counts map[hg.ID]map[astopo.Category][astopo.NumContinents][]int
+}
+
+// Fig13 cross-tabulates hosting ASes by continent and cone category.
+func Fig13(e *Env) *Fig13Result {
+	sr := e.Study(corpus.Rapid7)
+	out := &Fig13Result{Counts: make(map[hg.ID]map[astopo.Category][astopo.NumContinents][]int)}
+	g := e.World.Graph()
+	for _, id := range hg.Top4() {
+		out.Counts[id] = make(map[astopo.Category][astopo.NumContinents][]int)
+		for _, cat := range fig13Categories {
+			var byCont [astopo.NumContinents][]int
+			for c := range byCont {
+				byCont[c] = make([]int, timeline.Count())
+			}
+			out.Counts[id][cat] = byCont
+		}
+	}
+	for _, s := range timeline.All() {
+		if sr.Results[s] == nil {
+			continue
+		}
+		sets := top4SetsAt(sr, s)
+		for _, id := range hg.Top4() {
+			for as := range sets[id] {
+				cont, ok := g.ContinentOf(as)
+				if !ok {
+					continue
+				}
+				cat := e.CategoryOf(as, s)
+				if cat == astopo.XLarge {
+					cat = astopo.Large
+				}
+				out.Counts[id][cat][cont][s]++
+			}
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13 — footprint per continent and network type (# ASes)\n")
+	for _, cat := range fig13Categories {
+		for _, id := range hg.Top4() {
+			fmt.Fprintf(&b, "--- %s %s ASes ---\n%s\n", id, cat, seriesHeader())
+			byCont := f.Counts[id][cat]
+			for _, cont := range astopo.AllContinents() {
+				b.WriteString(seriesRow(cont.String(), byCont[cont]) + "\n")
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"offnetscope/internal/core"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+func init() {
+	register("v6gap", "§7 limitation: IPv6-only networks invisible to IPv4 corpuses", func(e *Env) Renderer { return V6Gap(e) })
+}
+
+// V6GapRow is one hypergiant's visibility loss to IPv6-only hosting ASes.
+type V6GapRow struct {
+	HG            hg.ID
+	Truth         int // ground-truth hosting ASes
+	V6OnlyHosting int // of which IPv6-only
+	Inferred      int
+	Recall        float64
+}
+
+// V6GapResult quantifies the §7 IPv6 limitation: off-nets inside
+// IPv6-only operators never appear in an IPv4 certificate corpus, so
+// recall is capped below 100 % no matter how good the pipeline is.
+type V6GapResult struct {
+	Snapshot timeline.Snapshot
+	Frac     float64
+	Rows     []V6GapRow
+}
+
+// V6Gap rebuilds the world with a share of IPv6-only eyeball networks
+// and measures the resulting recall ceiling.
+func V6Gap(e *Env) *V6GapResult {
+	s := LastSnapshot()
+	const frac = 0.06
+	cfg := e.World.Config()
+	cfg.IPv6OnlyASFrac = frac
+	w, err := worldsim.New(cfg)
+	if err != nil {
+		return &V6GapResult{Snapshot: s, Frac: frac}
+	}
+	pipeline := &core.Pipeline{
+		Trust:  w.TrustStore(),
+		Orgs:   w.Orgs(),
+		Mapper: func(s timeline.Snapshot) core.IPMapper { return w.IP2AS(s) },
+		Opts:   core.DefaultOptions(),
+	}
+	res := pipeline.Run(scanners.Scan(w, scanners.Rapid7Profile(), s))
+
+	out := &V6GapResult{Snapshot: s, Frac: frac}
+	for _, id := range hg.Top4() {
+		truth := w.TrueOffNetASes(id, s)
+		inferred := res.PerHG[id].ConfirmedASes
+		v6 := 0
+		hits := 0
+		for _, as := range truth {
+			if w.IPv6Only(as) {
+				v6++
+			}
+			if _, ok := inferred[as]; ok {
+				hits++
+			}
+		}
+		row := V6GapRow{HG: id, Truth: len(truth), V6OnlyHosting: v6, Inferred: len(inferred)}
+		if len(truth) > 0 {
+			row.Recall = 100 * float64(hits) / float64(len(truth))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (v *V6GapResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IPv6 limitation @ %s: %.0f%% of eyeball ASes are IPv6-only\n", v.Snapshot.Label(), v.Frac*100)
+	fmt.Fprintf(&b, "%-10s %7s %9s %9s %8s\n", "HG", "truth", "v6-only", "inferred", "recall")
+	for _, r := range v.Rows {
+		fmt.Fprintf(&b, "%-10s %7d %9d %9d %7.1f%%\n", r.HG, r.Truth, r.V6OnlyHosting, r.Inferred, r.Recall)
+	}
+	b.WriteString("IPv4 corpuses cannot see IPv6-only deployments; the recall ceiling is 100% minus the v6-only share.\n")
+	return b.String()
+}

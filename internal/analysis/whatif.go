@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+)
+
+func init() {
+	register("whatif", "§6.5 what-if: best next deployments to raise a country's coverage", func(e *Env) Renderer { return WhatIf(e) })
+}
+
+// WhatIfPick is one recommended deployment.
+type WhatIfPick struct {
+	AS    astopo.ASN
+	Share float64 // the AS's share of the country's users, percent
+}
+
+// WhatIfRow is one (hypergiant, country) recommendation: the paper's
+// example was Facebook in the US, 33.9 % → 61.8 % with five ASes.
+type WhatIfRow struct {
+	HG      hg.ID
+	Country string
+	Before  float64
+	After   float64
+	Picks   []WhatIfPick
+}
+
+// WhatIfResult holds the §6.5-style deployment recommendations.
+type WhatIfResult struct {
+	Snapshot timeline.Snapshot
+	K        int
+	Rows     []WhatIfRow
+}
+
+// WhatIf greedily picks, for each top-4 hypergiant, the K highest-share
+// non-hosting ASes in its most under-covered large market. With per-AS
+// additive market shares the greedy pick is optimal.
+func WhatIf(e *Env) *WhatIfResult {
+	s := LastSnapshot()
+	const k = 5
+	out := &WhatIfResult{Snapshot: s, K: k}
+	g := e.World.Graph()
+
+	for _, id := range hg.Top4() {
+		hosting := hostingSetAt(e, id, s)
+		coverage := e.Pop.CoverageByCountry(hosting, s)
+
+		// The most under-covered market among big countries.
+		var target string
+		worst := 101.0
+		for _, c := range astopo.Countries() {
+			if c.Users < 30 { // markets the paper's discussion focuses on
+				continue
+			}
+			if cov := coverage[c.Code]; cov < worst {
+				worst, target = cov, c.Code
+			}
+		}
+		if target == "" {
+			continue
+		}
+
+		// Rank the country's non-hosting ASes by market share.
+		type cand struct {
+			as    astopo.ASN
+			share float64
+		}
+		var cands []cand
+		for i := 1; i <= g.NumASes(); i++ {
+			as := astopo.ASN(i)
+			if !g.Active(as, s) || g.Country(as) != target {
+				continue
+			}
+			if _, already := hosting[as]; already {
+				continue
+			}
+			if share := e.Pop.Share(as, s); share > 0 {
+				cands = append(cands, cand{as, share})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].share > cands[j].share })
+
+		row := WhatIfRow{HG: id, Country: target, Before: coverage[target], After: coverage[target]}
+		for i := 0; i < k && i < len(cands); i++ {
+			row.Picks = append(row.Picks, WhatIfPick{AS: cands[i].as, Share: cands[i].share * 100})
+			row.After += cands[i].share * 100
+		}
+		if row.After > 100 {
+			row.After = 100
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (w *WhatIfResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "What-if @ %s: coverage gain from the %d best additional hosting ASes\n", w.Snapshot.Label(), w.K)
+	fmt.Fprintf(&b, "(the paper's example: Facebook in the US, 33.9%% → 61.8%% with 5 ASes)\n")
+	for _, r := range w.Rows {
+		fmt.Fprintf(&b, "%-10s in %s: %5.1f%% → %5.1f%%  via", r.HG, r.Country, r.Before, r.After)
+		for _, p := range r.Picks {
+			fmt.Fprintf(&b, " AS%d(%.1f%%)", p.AS, p.Share)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package astopo
+
+import (
+	"testing"
+
+	"offnetscope/internal/timeline"
+)
+
+func TestOrgDBNameHistory(t *testing.T) {
+	db := NewOrgDB()
+	as := ASN(15169)
+	db.Set(as, 0, "Google Inc.")
+	db.Set(as, 14, "Google LLC") // 2017-04 rename
+
+	if got := db.Name(as, 0); got != "Google Inc." {
+		t.Errorf("name at 0 = %q", got)
+	}
+	if got := db.Name(as, 13); got != "Google Inc." {
+		t.Errorf("name at 13 = %q", got)
+	}
+	if got := db.Name(as, 14); got != "Google LLC" {
+		t.Errorf("name at 14 = %q", got)
+	}
+	if got := db.Name(as, 30); got != "Google LLC" {
+		t.Errorf("name at 30 = %q", got)
+	}
+	if got := db.Name(ASN(1), 10); got != "" {
+		t.Errorf("unknown AS name = %q", got)
+	}
+}
+
+func TestOrgDBSetOutOfOrderAndOverride(t *testing.T) {
+	db := NewOrgDB()
+	as := ASN(7)
+	db.Set(as, 10, "B Corp")
+	db.Set(as, 0, "A Corp")
+	if got := db.Name(as, 5); got != "A Corp" {
+		t.Errorf("name at 5 = %q", got)
+	}
+	db.Set(as, 10, "B2 Corp") // same-snapshot override
+	if got := db.Name(as, 12); got != "B2 Corp" {
+		t.Errorf("name at 12 = %q", got)
+	}
+}
+
+func TestOrgDBASesMatching(t *testing.T) {
+	db := NewOrgDB()
+	db.Set(ASN(1), 0, "Google Inc.")
+	db.Set(ASN(2), 0, "Google Fiber")
+	db.Set(ASN(3), 0, "Netflix, Inc.")
+	db.Set(ASN(4), 5, "Google Cloud") // appears later
+
+	got := db.ASesMatching("google", 0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ASesMatching at 0 = %v", got)
+	}
+	got = db.ASesMatching("GOOGLE", 10)
+	if len(got) != 3 {
+		t.Fatalf("ASesMatching at 10 = %v", got)
+	}
+	if n := len(db.ASesMatching("amazon", timeline.Snapshot(10))); n != 0 {
+		t.Errorf("amazon matches = %d", n)
+	}
+	if db.NumASes() != 4 {
+		t.Errorf("NumASes = %d", db.NumASes())
+	}
+}

@@ -1,0 +1,32 @@
+package bgpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadRIB(f *testing.F) {
+	f.Add("# offnetscope rib collector=routeviews snapshot=2019-10\n1.2.3.0/24|5|0.9\n")
+	f.Add("1.2.3.0/24|5|0.9\n10.0.0.0/8|7|0.1")
+	f.Add("garbage")
+	f.Add("1.2.3.0/24|5|1.5")
+	f.Fuzz(func(t *testing.T, input string) {
+		rib, err := ReadRIB(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be internally consistent and re-serialize.
+		for _, ann := range rib.Announcements {
+			if ann.Presence < 0 || ann.Presence > 1 {
+				t.Fatalf("parsed out-of-range presence %v", ann.Presence)
+			}
+			if !ann.Prefix.IsCanonical() {
+				t.Fatalf("parsed non-canonical prefix %v", ann.Prefix)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteRIB(&sb, rib); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package bgpsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// RIB serialization, playing the role of the monthly RouteViews / RIPE
+// RIS aggregates the paper downloads: one line per (prefix, origin)
+// observation with its visible-fraction-of-month.
+
+// WriteRIB serializes a monthly RIB: "prefix|origin|presence".
+func WriteRIB(w io.Writer, rib *RIB) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# offnetscope rib collector=%s snapshot=%s\n", rib.Collector, rib.Snapshot.Label())
+	for _, ann := range rib.Announcements {
+		fmt.Fprintf(bw, "%s|%d|%.4f\n", ann.Prefix, ann.Origin, ann.Presence)
+	}
+	return bw.Flush()
+}
+
+// ReadRIB parses WriteRIB output.
+func ReadRIB(r io.Reader) (*RIB, error) {
+	rib := &RIB{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			for _, field := range strings.Fields(text) {
+				if v, ok := strings.CutPrefix(field, "collector="); ok {
+					rib.Collector = Collector(v)
+				}
+				if v, ok := strings.CutPrefix(field, "snapshot="); ok {
+					if s, okk := timeline.FromLabel(v); okk {
+						rib.Snapshot = s
+					}
+				}
+			}
+			continue
+		}
+		parts := strings.Split(text, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bgpsim: line %d: bad announcement %q", line, text)
+		}
+		prefix, err := netmodel.ParsePrefix(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgpsim: line %d: %w", line, err)
+		}
+		origin, err := strconv.Atoi(parts[1])
+		if err != nil || origin <= 0 {
+			return nil, fmt.Errorf("bgpsim: line %d: bad origin %q", line, parts[1])
+		}
+		presence, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || presence < 0 || presence > 1 {
+			return nil, fmt.Errorf("bgpsim: line %d: bad presence %q", line, parts[2])
+		}
+		rib.Announcements = append(rib.Announcements, Announcement{
+			Prefix: prefix, Origin: astopo.ASN(origin), Presence: presence,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgpsim: %w", err)
+	}
+	return rib, nil
+}

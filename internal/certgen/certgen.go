@@ -1,0 +1,144 @@
+// Package certgen mints real X.509 certificates (ECDSA P-256) for the
+// live-network path: the loopback server farm serves them over genuine
+// TLS handshakes and the probe scanner fetches and verifies them, just
+// like the paper's certigo/ZGrab2 scans did. The simulated corpuses use
+// package certmodel instead; this package is only for code paths that
+// cross a real crypto/tls connection.
+package certgen
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// CA is a certificate authority holding a signing key.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	pool *x509.CertPool
+}
+
+var serialCounter int64 = 1000
+
+func nextSerial() *big.Int {
+	serialCounter++
+	return big.NewInt(serialCounter)
+}
+
+// NewCA creates a self-signed root CA valid for ten years.
+func NewCA(name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: %w", err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber:          nextSerial(),
+		Subject:               pkix.Name{Organization: []string{name}, CommonName: name + " Root"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().AddDate(10, 0, 0),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &CA{Cert: cert, Key: key, pool: pool}, nil
+}
+
+// Pool returns a cert pool trusting this CA.
+func (ca *CA) Pool() *x509.CertPool { return ca.pool }
+
+// LeafSpec describes an end-entity certificate to issue.
+type LeafSpec struct {
+	Organization string
+	CommonName   string
+	DNSNames     []string
+	NotBefore    time.Time
+	NotAfter     time.Time
+}
+
+func (spec *LeafSpec) defaults() {
+	if spec.CommonName == "" && len(spec.DNSNames) > 0 {
+		spec.CommonName = spec.DNSNames[0]
+	}
+	if spec.NotBefore.IsZero() {
+		spec.NotBefore = time.Now().Add(-time.Hour)
+	}
+	if spec.NotAfter.IsZero() {
+		spec.NotAfter = time.Now().AddDate(1, 0, 0)
+	}
+}
+
+// IssueLeaf mints a CA-signed server certificate ready for crypto/tls.
+func (ca *CA) IssueLeaf(spec LeafSpec) (tls.Certificate, error) {
+	spec.defaults()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certgen: %w", err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber: nextSerial(),
+		Subject:      pkix.Name{Organization: []string{spec.Organization}, CommonName: spec.CommonName},
+		DNSNames:     spec.DNSNames,
+		NotBefore:    spec.NotBefore,
+		NotAfter:     spec.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certgen: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certgen: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, ca.Cert.Raw},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}, nil
+}
+
+// SelfSigned mints a self-signed server certificate — the kind §4.1
+// rejects.
+func SelfSigned(spec LeafSpec) (tls.Certificate, error) {
+	spec.defaults()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certgen: %w", err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber: nextSerial(),
+		Subject:      pkix.Name{Organization: []string{spec.Organization}, CommonName: spec.CommonName},
+		DNSNames:     spec.DNSNames,
+		NotBefore:    spec.NotBefore,
+		NotAfter:     spec.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certgen: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certgen: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}, nil
+}

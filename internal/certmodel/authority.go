@@ -1,0 +1,111 @@
+package certmodel
+
+import (
+	"time"
+
+	"offnetscope/internal/rng"
+)
+
+// Authority mints simulated certificates: it plays the role of the WebPKI
+// CA ecosystem for the world simulator. Each Authority owns one root and
+// a pool of intermediates, and hands out end-entity certificates chained
+// through them. Key IDs and serial numbers are drawn from a deterministic
+// RNG so a world generated twice from the same seed contains bit-identical
+// certificates.
+type Authority struct {
+	Name          string
+	Root          *Certificate
+	Intermediates []*Certificate
+
+	rnd     *rng.RNG
+	nextKey uint64
+	serial  uint64
+}
+
+// NewAuthority creates a CA with one root and n intermediates, all valid
+// across [validFrom, validTo].
+func NewAuthority(name string, n int, validFrom, validTo time.Time, rnd *rng.RNG) *Authority {
+	a := &Authority{Name: name, rnd: rnd.Fork("authority/" + name)}
+	rootKey := a.newKey()
+	a.Root = &Certificate{
+		SerialNumber: a.nextSerial(),
+		Subject:      Name{Organization: name, CommonName: name + " Root CA"},
+		Issuer:       Name{Organization: name, CommonName: name + " Root CA"},
+		NotBefore:    validFrom,
+		NotAfter:     validTo,
+		IsCA:         true,
+		Key:          rootKey,
+		SignedBy:     rootKey, // roots are self-signed by definition
+	}
+	for i := 0; i < n; i++ {
+		ic := &Certificate{
+			SerialNumber: a.nextSerial(),
+			Subject:      Name{Organization: name, CommonName: name + " Intermediate CA"},
+			Issuer:       a.Root.Subject,
+			NotBefore:    validFrom,
+			NotAfter:     validTo,
+			IsCA:         true,
+			Key:          a.newKey(),
+			SignedBy:     rootKey,
+		}
+		a.Intermediates = append(a.Intermediates, ic)
+	}
+	return a
+}
+
+func (a *Authority) newKey() KeyID {
+	a.nextKey++
+	return KeyID(a.rnd.Uint64()&^0xff | a.nextKey&0xff)
+}
+
+func (a *Authority) nextSerial() uint64 {
+	a.serial++
+	return a.rnd.Uint64()>>16<<16 | a.serial&0xffff
+}
+
+// LeafSpec describes an end-entity certificate to mint.
+type LeafSpec struct {
+	Organization string
+	CommonName   string
+	DNSNames     []string
+	NotBefore    time.Time
+	NotAfter     time.Time
+}
+
+// IssueLeaf mints an end-entity certificate signed by one of the
+// authority's intermediates and returns the full chain
+// (leaf, intermediate, root).
+func (a *Authority) IssueLeaf(spec LeafSpec) Chain {
+	inter := a.Intermediates[a.rnd.Intn(len(a.Intermediates))]
+	leaf := &Certificate{
+		SerialNumber: a.nextSerial(),
+		Subject: Name{
+			Organization: spec.Organization,
+			CommonName:   spec.CommonName,
+		},
+		Issuer:    inter.Subject,
+		DNSNames:  append([]string(nil), spec.DNSNames...),
+		NotBefore: spec.NotBefore,
+		NotAfter:  spec.NotAfter,
+		Key:       a.newKey(),
+		SignedBy:  inter.Key,
+	}
+	return Chain{leaf, inter, a.Root}
+}
+
+// IssueSelfSigned mints a self-signed end-entity certificate — the kind
+// anyone can create to mimic a hypergiant, which §4.1 discards.
+func (a *Authority) IssueSelfSigned(spec LeafSpec) Chain {
+	key := a.newKey()
+	leaf := &Certificate{
+		SerialNumber: a.nextSerial(),
+		Subject:      Name{Organization: spec.Organization, CommonName: spec.CommonName},
+		Issuer:       Name{Organization: spec.Organization, CommonName: spec.CommonName},
+		DNSNames:     append([]string(nil), spec.DNSNames...),
+		NotBefore:    spec.NotBefore,
+		NotAfter:     spec.NotAfter,
+		Key:          key,
+		SignedBy:     key,
+	}
+	return Chain{leaf}
+}

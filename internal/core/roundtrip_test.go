@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/scanners"
+)
+
+// TestPipelineOverPersistedCorpus is the integration check behind
+// cmd/worldgen + cmd/offnetmap: writing a scan to disk and reading it
+// back must produce byte-identical inference results.
+func TestPipelineOverPersistedCorpus(t *testing.T) {
+	snap := rapid7At(t, lastSnap)
+	root := t.TempDir()
+	if err := corpus.Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := corpus.Read(root, corpus.Rapid7, lastSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := testPipeline(DefaultOptions())
+	direct := p.Run(snap)
+	fromDisk := p.Run(back)
+
+	if direct.TotalCertIPs != fromDisk.TotalCertIPs ||
+		direct.ValidCertIPs != fromDisk.ValidCertIPs ||
+		direct.TotalCertASes != fromDisk.TotalCertASes {
+		t.Fatalf("corpus-wide stats differ: %+v vs %+v", direct, fromDisk)
+	}
+	for reason, n := range direct.InvalidByReason {
+		if fromDisk.InvalidByReason[reason] != n {
+			t.Errorf("invalid[%s]: %d vs %d", reason, n, fromDisk.InvalidByReason[reason])
+		}
+	}
+	for _, h := range hg.All() {
+		a, b := direct.PerHG[h.ID], fromDisk.PerHG[h.ID]
+		if len(a.CandidateASes) != len(b.CandidateASes) || len(a.ConfirmedASes) != len(b.ConfirmedASes) {
+			t.Errorf("%v: candidates %d/%d confirmed %d/%d",
+				h.ID, len(a.CandidateASes), len(b.CandidateASes), len(a.ConfirmedASes), len(b.ConfirmedASes))
+		}
+		for as := range a.ConfirmedASes {
+			if _, ok := b.ConfirmedASes[as]; !ok {
+				t.Errorf("%v: AS %d confirmed directly but not from disk", h.ID, as)
+			}
+		}
+		if len(a.DNSNames) != len(b.DNSNames) {
+			t.Errorf("%v: fingerprint sizes differ %d vs %d", h.ID, len(a.DNSNames), len(b.DNSNames))
+		}
+	}
+}
+
+// TestCertigoCorpusCertsOnly checks the headerless corpus path end to
+// end: a pure TLS scan still yields the certificate-level footprints.
+func TestCertigoCorpusCertsOnly(t *testing.T) {
+	snap := scanners.Scan(testWorld, scanners.CertigoProfile(), 24)
+	if snap == nil {
+		t.Fatal("no certigo data at 2019-10")
+	}
+	if len(snap.HTTP)+len(snap.HTTPS) != 0 {
+		t.Fatal("certigo must not carry headers")
+	}
+	res := testPipeline(Options{HeaderMode: CertsOnly}).Run(snap)
+	for _, id := range hg.Top4() {
+		if len(res.PerHG[id].CandidateASes) == 0 {
+			t.Errorf("%v has no candidates in the certigo corpus", id)
+		}
+	}
+	// With header confirmation requested, a headerless corpus confirms
+	// nothing — the mode matters.
+	strict := testPipeline(Options{HeaderMode: HeadersEither}).Run(snap)
+	for _, id := range hg.Top4() {
+		if n := len(strict.PerHG[id].ConfirmedASes); n != 0 {
+			t.Errorf("%v: %d ASes confirmed without any header corpus", id, n)
+		}
+	}
+}

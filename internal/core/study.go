@@ -1,0 +1,167 @@
+package core
+
+import (
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// SnapshotSource supplies the corpus for each study month; it returns
+// nil when the vendor has no data for that month (e.g. Censys before
+// 2019-10).
+type SnapshotSource func(timeline.Snapshot) *corpus.Snapshot
+
+// StudyResult is the full longitudinal output over the study window.
+type StudyResult struct {
+	// Results holds one inference result per snapshot, nil where the
+	// source had no data.
+	Results []*Result
+
+	// The three Netflix series of Fig 3: the straight §4 inference, the
+	// variant ignoring certificate expiry, and the variant additionally
+	// restoring previously-seen Netflix IPs that moved to plain HTTP
+	// between 2017-10 and 2019-10 (§6.2).
+	NetflixInitial     []int
+	NetflixWithExpired []int
+	NetflixNonTLS      []int
+}
+
+// RunStudy executes the pipeline over every snapshot the source can
+// supply, maintaining the cross-snapshot state the Netflix envelope
+// needs.
+func (p *Pipeline) RunStudy(source SnapshotSource) *StudyResult {
+	out := &StudyResult{
+		Results:            make([]*Result, timeline.Count()),
+		NetflixInitial:     make([]int, timeline.Count()),
+		NetflixWithExpired: make([]int, timeline.Count()),
+		NetflixNonTLS:      make([]int, timeline.Count()),
+	}
+	// memory maps IPs that ever served a confirmed (or expired)
+	// Netflix certificate to the ASes they mapped to at the time.
+	memory := make(map[netmodel.IP][]astopo.ASN)
+
+	for _, s := range timeline.All() {
+		snap := source(s)
+		if snap == nil {
+			continue
+		}
+		res := p.Run(snap)
+		out.Results[s] = res
+		nf := res.PerHG[hg.Netflix]
+
+		out.NetflixInitial[s] = len(nf.ConfirmedASes)
+
+		withExpired := make(map[astopo.ASN]struct{}, len(nf.ConfirmedASes)+len(nf.ExpiredASes))
+		for as := range nf.ConfirmedASes {
+			withExpired[as] = struct{}{}
+		}
+		for as := range nf.ExpiredASes {
+			withExpired[as] = struct{}{}
+		}
+		out.NetflixWithExpired[s] = len(withExpired)
+
+		// Non-TLS restoration: remembered Netflix IPs that no longer
+		// answer on 443 but still answer on 80 keep their AS counted.
+		certIPs := make(map[netmodel.IP]struct{}, len(snap.Certs))
+		for _, cr := range snap.Certs {
+			certIPs[cr.IP] = struct{}{}
+		}
+		restored := make(map[astopo.ASN]struct{}, len(withExpired))
+		for as := range withExpired {
+			restored[as] = struct{}{}
+		}
+		httpIdx := snap.HTTPHeadersByIP()
+		for ip, asns := range memory {
+			if _, onTLS := certIPs[ip]; onTLS {
+				continue
+			}
+			if _, onHTTP := httpIdx[ip]; !onHTTP {
+				continue
+			}
+			for _, as := range asns {
+				restored[as] = struct{}{}
+			}
+		}
+		out.NetflixNonTLS[s] = len(restored)
+
+		// Update the memory with this month's evidence.
+		mapper := p.Mapper(s)
+		remember := func(ips []netmodel.IP) {
+			for _, ip := range ips {
+				if _, ok := memory[ip]; !ok {
+					memory[ip] = mapper.Lookup(ip)
+				}
+			}
+		}
+		remember(nf.ConfirmedIPList)
+		remember(nf.ExpiredIPs)
+	}
+	return out
+}
+
+// ConfirmedSeries extracts one hypergiant's confirmed off-net AS counts
+// across the study (zero where no data).
+func (sr *StudyResult) ConfirmedSeries(id hg.ID) []int {
+	out := make([]int, len(sr.Results))
+	for i, r := range sr.Results {
+		if r != nil {
+			out[i] = len(r.PerHG[id].ConfirmedASes)
+		}
+	}
+	return out
+}
+
+// CandidateSeries extracts one hypergiant's certs-only AS counts.
+func (sr *StudyResult) CandidateSeries(id hg.ID) []int {
+	out := make([]int, len(sr.Results))
+	for i, r := range sr.Results {
+		if r != nil {
+			out[i] = len(r.PerHG[id].CandidateASes)
+		}
+	}
+	return out
+}
+
+// MaxConfirmed returns a hypergiant's maximum footprint and the snapshot
+// it occurred at (Table 3's middle columns).
+func (sr *StudyResult) MaxConfirmed(id hg.ID) (max int, at timeline.Snapshot) {
+	series := sr.EnvelopeSeries(id)
+	for i, v := range series {
+		if v > max {
+			max, at = v, timeline.Snapshot(i)
+		}
+	}
+	return max, at
+}
+
+// EnvelopeSeries returns the series Table 3 ranks by: the plain
+// confirmed counts for every hypergiant except Netflix, whose footprint
+// uses the §6.2 envelope (the max of the three variants).
+func (sr *StudyResult) EnvelopeSeries(id hg.ID) []int {
+	if id != hg.Netflix {
+		return sr.ConfirmedSeries(id)
+	}
+	out := make([]int, len(sr.Results))
+	for i := range out {
+		out[i] = sr.NetflixInitial[i]
+		if sr.NetflixWithExpired[i] > out[i] {
+			out[i] = sr.NetflixWithExpired[i]
+		}
+		if sr.NetflixNonTLS[i] > out[i] {
+			out[i] = sr.NetflixNonTLS[i]
+		}
+	}
+	return out
+}
+
+// ConfirmedASesAt returns the hypergiant's confirmed off-net AS set at
+// snapshot s (nil when no data).
+func (sr *StudyResult) ConfirmedASesAt(id hg.ID, s timeline.Snapshot) map[astopo.ASN]struct{} {
+	r := sr.Results[s]
+	if r == nil {
+		return nil
+	}
+	return r.PerHG[id].ConfirmedASes
+}

@@ -1,0 +1,185 @@
+package core
+
+// Unit tests for the longitudinal study assembly, on synthetic results —
+// the end-to-end behaviour is covered in pipeline_test.go.
+
+import (
+	"testing"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/certmodel"
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// fabricateStudy builds a StudyResult with hand-set per-snapshot counts.
+func fabricateStudy(counts map[hg.ID][]int) *StudyResult {
+	sr := &StudyResult{
+		Results:            make([]*Result, timeline.Count()),
+		NetflixInitial:     make([]int, timeline.Count()),
+		NetflixWithExpired: make([]int, timeline.Count()),
+		NetflixNonTLS:      make([]int, timeline.Count()),
+	}
+	for i := range sr.Results {
+		res := &Result{PerHG: make(map[hg.ID]*HGResult)}
+		for _, h := range hg.All() {
+			hr := &HGResult{ConfirmedASes: make(map[astopo.ASN]struct{})}
+			if series, ok := counts[h.ID]; ok {
+				for k := 0; k < series[i]; k++ {
+					hr.ConfirmedASes[astopo.ASN(k+1)] = struct{}{}
+				}
+			}
+			res.PerHG[h.ID] = hr
+		}
+		sr.Results[i] = res
+	}
+	return sr
+}
+
+func rampSeries(from, to int) []int {
+	out := make([]int, timeline.Count())
+	for i := range out {
+		out[i] = from + (to-from)*i/(timeline.Count()-1)
+	}
+	return out
+}
+
+func TestMaxConfirmed(t *testing.T) {
+	series := rampSeries(10, 50)
+	series[18] = 99 // a mid-study peak
+	sr := fabricateStudy(map[hg.ID][]int{hg.Akamai: series})
+	max, at := sr.MaxConfirmed(hg.Akamai)
+	if max != 99 || at != 18 {
+		t.Fatalf("MaxConfirmed = %d @ %v", max, at)
+	}
+	// A hypergiant with no footprint peaks at zero.
+	max, at = sr.MaxConfirmed(hg.Fastly)
+	if max != 0 || at != 0 {
+		t.Fatalf("empty MaxConfirmed = %d @ %v", max, at)
+	}
+}
+
+func TestEnvelopeSeriesTakesMax(t *testing.T) {
+	sr := fabricateStudy(map[hg.ID][]int{hg.Netflix: rampSeries(5, 5)})
+	for i := range sr.NetflixInitial {
+		sr.NetflixInitial[i] = 5
+		sr.NetflixWithExpired[i] = 7
+		sr.NetflixNonTLS[i] = 6
+	}
+	env := sr.EnvelopeSeries(hg.Netflix)
+	for i, v := range env {
+		if v != 7 {
+			t.Fatalf("envelope[%d] = %d, want the max variant 7", i, v)
+		}
+	}
+	// Non-Netflix hypergiants use the plain confirmed series.
+	sr2 := fabricateStudy(map[hg.ID][]int{hg.Google: rampSeries(3, 3)})
+	for i, v := range sr2.EnvelopeSeries(hg.Google) {
+		if v != 3 {
+			t.Fatalf("google envelope[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSeriesWithMissingSnapshots(t *testing.T) {
+	sr := fabricateStudy(map[hg.ID][]int{hg.Google: rampSeries(2, 8)})
+	sr.Results[5] = nil // a month with no corpus
+	series := sr.ConfirmedSeries(hg.Google)
+	if series[5] != 0 {
+		t.Fatal("missing snapshot should report zero")
+	}
+	if series[6] == 0 {
+		t.Fatal("following snapshot should be intact")
+	}
+	if sr.ConfirmedASesAt(hg.Google, 5) != nil {
+		t.Fatal("missing snapshot AS set should be nil")
+	}
+	if sr.ConfirmedASesAt(hg.Google, 6) == nil {
+		t.Fatal("present snapshot AS set should not be nil")
+	}
+}
+
+func TestRunStudySkipsNilSources(t *testing.T) {
+	p := testPipeline(DefaultOptions())
+	calls := 0
+	sr := p.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
+		calls++
+		return nil // vendor with no data at all
+	})
+	if calls != timeline.Count() {
+		t.Fatalf("source called %d times", calls)
+	}
+	for i, r := range sr.Results {
+		if r != nil {
+			t.Fatalf("snapshot %d has a result without data", i)
+		}
+	}
+	if sr.NetflixNonTLS[30] != 0 {
+		t.Fatal("empty study produced Netflix counts")
+	}
+}
+
+func TestNetflixMemoryAcrossSnapshots(t *testing.T) {
+	// A tiny two-snapshot source: the Netflix IP serves a valid cert in
+	// month A, then disappears from TLS but stays on HTTP in month B —
+	// the non-TLS restoration must keep its AS counted.
+	tw := newToyWorld(t)
+	tw.orgs.Set(10, 0, "Netflix, Inc.")
+	ip := netmodel.IP(500)
+	tw.mapper[ip] = []astopo.ASN{7}
+	tw.mapper[netmodel.IP(100)] = []astopo.ASN{10}
+
+	wideLeaf := func() certmodel.Chain {
+		return tw.auth.IssueLeaf(certmodel.LeafSpec{
+			Organization: "Netflix, Inc.", CommonName: "*.nflxvideo.net",
+			DNSNames:  []string{"*.nflxvideo.net"},
+			NotBefore: time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:  time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		})
+	}
+	chainOn := wideLeaf()
+	chainOff := wideLeaf()
+
+	source := func(s timeline.Snapshot) *corpus.Snapshot {
+		switch s {
+		case 10:
+			return &corpus.Snapshot{
+				Vendor: corpus.Rapid7, Snapshot: s,
+				Certs: []corpus.CertRecord{
+					{IP: netmodel.IP(100), Chain: chainOn},
+					{IP: ip, Chain: chainOff},
+				},
+				HTTP: []corpus.HeaderRecord{
+					{IP: ip, Headers: []hg.Header{{Name: "Server", Value: "nginx"}}},
+				},
+			}
+		case 11:
+			return &corpus.Snapshot{
+				Vendor: corpus.Rapid7, Snapshot: s,
+				Certs: []corpus.CertRecord{
+					{IP: netmodel.IP(100), Chain: chainOn},
+					// ip no longer answers TLS...
+				},
+				HTTP: []corpus.HeaderRecord{
+					// ...but still talks HTTP.
+					{IP: ip, Headers: []hg.Header{{Name: "Server", Value: "nginx"}}},
+				},
+			}
+		default:
+			return nil
+		}
+	}
+	sr := tw.pipeline(DefaultOptions()).RunStudy(source)
+	if sr.NetflixInitial[10] != 1 {
+		t.Fatalf("month A initial = %d", sr.NetflixInitial[10])
+	}
+	if sr.NetflixInitial[11] != 0 {
+		t.Fatalf("month B initial = %d, the IP left TLS", sr.NetflixInitial[11])
+	}
+	if sr.NetflixNonTLS[11] != 1 {
+		t.Fatalf("month B non-TLS restoration = %d, want 1", sr.NetflixNonTLS[11])
+	}
+}

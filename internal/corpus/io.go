@@ -1,0 +1,225 @@
+package corpus
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"offnetscope/internal/certmodel"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// On-disk layout mirrors how the public corpuses are distributed: one
+// directory per vendor and month, NDJSON+gzip files inside.
+//
+//	<root>/<vendor>/<YYYY-MM>/certs.ndjson.gz
+//	<root>/<vendor>/<YYYY-MM>/https_headers.ndjson.gz
+//	<root>/<vendor>/<YYYY-MM>/http_headers.ndjson.gz
+
+// wireCert is the serialized certificate form.
+type wireCert struct {
+	Serial     uint64   `json:"serial"`
+	SubjectOrg string   `json:"subject_org,omitempty"`
+	SubjectCN  string   `json:"subject_cn,omitempty"`
+	IssuerOrg  string   `json:"issuer_org,omitempty"`
+	IssuerCN   string   `json:"issuer_cn,omitempty"`
+	DNSNames   []string `json:"dns_names,omitempty"`
+	NotBefore  int64    `json:"not_before"`
+	NotAfter   int64    `json:"not_after"`
+	IsCA       bool     `json:"is_ca,omitempty"`
+	Key        uint64   `json:"key"`
+	SignedBy   uint64   `json:"signed_by"`
+	Forged     bool     `json:"forged,omitempty"`
+}
+
+type wireCertRecord struct {
+	IP    string     `json:"ip"`
+	Chain []wireCert `json:"chain"`
+}
+
+type wireHeaderRecord struct {
+	IP      string      `json:"ip"`
+	Headers []hg.Header `json:"headers"`
+}
+
+func toWireCert(c *certmodel.Certificate) wireCert {
+	return wireCert{
+		Serial:     c.SerialNumber,
+		SubjectOrg: c.Subject.Organization,
+		SubjectCN:  c.Subject.CommonName,
+		IssuerOrg:  c.Issuer.Organization,
+		IssuerCN:   c.Issuer.CommonName,
+		DNSNames:   c.DNSNames,
+		NotBefore:  c.NotBefore.Unix(),
+		NotAfter:   c.NotAfter.Unix(),
+		IsCA:       c.IsCA,
+		Key:        uint64(c.Key),
+		SignedBy:   uint64(c.SignedBy),
+		Forged:     c.Forged,
+	}
+}
+
+func fromWireCert(w wireCert) *certmodel.Certificate {
+	return &certmodel.Certificate{
+		SerialNumber: w.Serial,
+		Subject:      certmodel.Name{Organization: w.SubjectOrg, CommonName: w.SubjectCN},
+		Issuer:       certmodel.Name{Organization: w.IssuerOrg, CommonName: w.IssuerCN},
+		DNSNames:     w.DNSNames,
+		NotBefore:    unixTime(w.NotBefore),
+		NotAfter:     unixTime(w.NotAfter),
+		IsCA:         w.IsCA,
+		Key:          certmodel.KeyID(w.Key),
+		SignedBy:     certmodel.KeyID(w.SignedBy),
+		Forged:       w.Forged,
+	}
+}
+
+func unixTime(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+// Dir returns the directory for one (vendor, snapshot) pair under root.
+func Dir(root string, vendor Vendor, s timeline.Snapshot) string {
+	return filepath.Join(root, string(vendor), s.Label())
+}
+
+// Write persists a snapshot under root.
+func Write(root string, snap *Snapshot) error {
+	dir := Dir(root, snap.Vendor, snap.Snapshot)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := writeNDJSON(filepath.Join(dir, "certs.ndjson.gz"), len(snap.Certs), func(enc *json.Encoder, i int) error {
+		r := snap.Certs[i]
+		w := wireCertRecord{IP: r.IP.String()}
+		for _, c := range r.Chain {
+			w.Chain = append(w.Chain, toWireCert(c))
+		}
+		return enc.Encode(&w)
+	}); err != nil {
+		return err
+	}
+	if err := writeHeaderFile(filepath.Join(dir, "https_headers.ndjson.gz"), snap.HTTPS); err != nil {
+		return err
+	}
+	return writeHeaderFile(filepath.Join(dir, "http_headers.ndjson.gz"), snap.HTTP)
+}
+
+func writeHeaderFile(path string, records []HeaderRecord) error {
+	return writeNDJSON(path, len(records), func(enc *json.Encoder, i int) error {
+		return enc.Encode(&wireHeaderRecord{IP: records[i].IP.String(), Headers: records[i].Headers})
+	})
+}
+
+func writeNDJSON(path string, n int, encode func(*json.Encoder, int) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	gz := gzip.NewWriter(f)
+	bw := bufio.NewWriterSize(gz, 1<<16)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < n; i++ {
+		if err := encode(enc, i); err != nil {
+			f.Close()
+			return fmt.Errorf("corpus: encoding %s: %w", path, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return f.Close()
+}
+
+// Read loads a snapshot previously persisted with Write. Shared
+// intermediate certificates are deduplicated by fingerprint so the
+// in-memory size matches freshly scanned snapshots.
+func Read(root string, vendor Vendor, s timeline.Snapshot) (*Snapshot, error) {
+	dir := Dir(root, vendor, s)
+	snap := &Snapshot{Vendor: vendor, Snapshot: s}
+	interned := make(map[certmodel.Fingerprint]*certmodel.Certificate)
+
+	err := readNDJSON(filepath.Join(dir, "certs.ndjson.gz"), func(dec *json.Decoder) error {
+		var w wireCertRecord
+		if err := dec.Decode(&w); err != nil {
+			return err
+		}
+		ip, err := netmodel.ParseIP(w.IP)
+		if err != nil {
+			return err
+		}
+		rec := CertRecord{IP: ip}
+		for i := range w.Chain {
+			c := fromWireCert(w.Chain[i])
+			if i > 0 { // intermediates and roots repeat heavily
+				if known, ok := interned[c.Fingerprint()]; ok {
+					c = known
+				} else {
+					interned[c.Fingerprint()] = c
+				}
+			}
+			rec.Chain = append(rec.Chain, c)
+		}
+		snap.Certs = append(snap.Certs, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if snap.HTTPS, err = readHeaderFile(filepath.Join(dir, "https_headers.ndjson.gz")); err != nil {
+		return nil, err
+	}
+	if snap.HTTP, err = readHeaderFile(filepath.Join(dir, "http_headers.ndjson.gz")); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func readHeaderFile(path string) ([]HeaderRecord, error) {
+	var out []HeaderRecord
+	err := readNDJSON(path, func(dec *json.Decoder) error {
+		var w wireHeaderRecord
+		if err := dec.Decode(&w); err != nil {
+			return err
+		}
+		ip, err := netmodel.ParseIP(w.IP)
+		if err != nil {
+			return err
+		}
+		out = append(out, HeaderRecord{IP: ip, Headers: w.Headers})
+		return nil
+	})
+	return out, err
+}
+
+func readNDJSON(path string, decode func(*json.Decoder) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	defer gz.Close()
+	dec := json.NewDecoder(gz)
+	for {
+		if err := decode(dec); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("corpus: decoding %s: %w", path, err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package hg
+
+import "strings"
+
+// MatchDomain reports whether a certificate dNSName pattern covers a
+// concrete host name, using X.509 wildcard semantics: "*.example.com"
+// matches exactly one additional left-most label ("a.example.com" but
+// neither "example.com" nor "a.b.example.com"). Comparison is
+// case-insensitive.
+func MatchDomain(pattern, name string) bool {
+	pattern = strings.ToLower(pattern)
+	name = strings.ToLower(name)
+	if !strings.HasPrefix(pattern, "*.") {
+		return pattern == name
+	}
+	suffix := pattern[1:] // ".example.com"
+	if !strings.HasSuffix(name, suffix) {
+		return false
+	}
+	label := name[:len(name)-len(suffix)]
+	return label != "" && !strings.Contains(label, ".")
+}
+
+// ConcreteDomain turns a dNSName pattern into a representative concrete
+// host name: "*.google.com" becomes "www.google.com"; non-wildcard
+// patterns are returned unchanged.
+func ConcreteDomain(pattern string) string {
+	if strings.HasPrefix(pattern, "*.") {
+		return "www" + pattern[1:]
+	}
+	return pattern
+}
+
+// PopularDomains returns concrete host names for the hypergiant's most
+// popular properties — the request targets used by the paper's active
+// validation (§5).
+func (h *Hypergiant) PopularDomains() []string {
+	out := make([]string, 0, len(h.Domains))
+	for _, d := range h.Domains {
+		out = append(out, ConcreteDomain(d))
+	}
+	return out
+}

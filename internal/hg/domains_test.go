@@ -1,0 +1,104 @@
+package hg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchDomain(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*.google.com", "www.google.com", true},
+		{"*.google.com", "video.google.com", true},
+		{"*.google.com", "google.com", false},     // wildcard needs a label
+		{"*.google.com", "a.b.google.com", false}, // exactly one label
+		{"*.google.com", "wwwgoogle.com", false},  // the dot matters
+		{"*.google.com", "www.google.com.br", false},
+		{"a248.e.akamai.net", "a248.e.akamai.net", true},
+		{"a248.e.akamai.net", "a249.e.akamai.net", false},
+		{"*.GOOGLE.com", "www.google.COM", true}, // case-insensitive
+		{"*.google.com", "", false},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		if got := MatchDomain(c.pattern, c.name); got != c.want {
+			t.Errorf("MatchDomain(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestConcreteDomain(t *testing.T) {
+	if got := ConcreteDomain("*.google.com"); got != "www.google.com" {
+		t.Errorf("ConcreteDomain = %q", got)
+	}
+	if got := ConcreteDomain("a248.e.akamai.net"); got != "a248.e.akamai.net" {
+		t.Errorf("non-wildcard should pass through: %q", got)
+	}
+}
+
+func TestConcreteDomainAlwaysMatchesQuick(t *testing.T) {
+	// Property: for every registered hypergiant domain pattern, the
+	// concrete representative matches its own pattern.
+	for _, h := range All() {
+		for _, d := range h.Domains {
+			if !MatchDomain(d, ConcreteDomain(d)) {
+				t.Errorf("%v: ConcreteDomain(%q) does not match its pattern", h.ID, d)
+			}
+		}
+	}
+}
+
+func TestPopularDomains(t *testing.T) {
+	g := Get(Google)
+	pop := g.PopularDomains()
+	if len(pop) != len(g.Domains) {
+		t.Fatalf("popular domains length %d", len(pop))
+	}
+	for _, d := range pop {
+		if strings.Contains(d, "*") {
+			t.Errorf("popular domain %q still a wildcard", d)
+		}
+	}
+}
+
+func TestMatchDomainNeverPanicsQuick(t *testing.T) {
+	f := func(pattern, name string) bool {
+		MatchDomain(pattern, name) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchDomainWildcardConsistencyQuick(t *testing.T) {
+	// Property: "*.<suffix>" matches "<label>.<suffix>" for any dot-free
+	// non-empty label and dot-containing suffix.
+	f := func(rawLabel, rawSuffix string) bool {
+		label := sanitize(rawLabel)
+		suffix := sanitize(rawSuffix) + ".example"
+		if label == "" {
+			return true
+		}
+		return MatchDomain("*."+suffix, label+"."+suffix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 20 {
+		return b.String()[:20]
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package hg
+
+import "testing"
+
+func FuzzMatchDomain(f *testing.F) {
+	f.Add("*.google.com", "www.google.com")
+	f.Add("", "")
+	f.Add("*.", "x.")
+	f.Add("*.a", "b.a")
+	f.Fuzz(func(t *testing.T, pattern, name string) {
+		got := MatchDomain(pattern, name)
+		// Matching is case-insensitive by definition.
+		if got != MatchDomain(pattern, name) {
+			t.Fatal("non-deterministic")
+		}
+		// A concrete (non-wildcard) pattern matches only itself.
+		if len(pattern) > 0 && pattern[0] != '*' && got {
+			if !equalFold(pattern, name) {
+				t.Fatalf("non-wildcard %q matched different name %q", pattern, name)
+			}
+		}
+	})
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package netmodel
+
+import "testing"
+
+func BenchmarkTrieLookup(b *testing.B) {
+	var tr Trie[int]
+	// A routing-table-like population: 100k prefixes of mixed length.
+	x := uint32(2463534242)
+	for i := 0; i < 100000; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		tr.Insert(MakePrefix(IP(x), 16+int(x%9)), i)
+	}
+	probe := IP(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe += 2654435761
+		tr.Lookup(probe)
+	}
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	x := uint32(88172645)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr Trie[int]
+		for j := 0; j < 1000; j++ {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			tr.Insert(MakePrefix(IP(x), 24), j)
+		}
+	}
+}
+
+func BenchmarkParseIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseIP("203.0.113.254"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIPString(b *testing.B) {
+	ip := MustParseIP("203.0.113.254")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ip.String()
+	}
+}

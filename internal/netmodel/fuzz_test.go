@@ -1,0 +1,45 @@
+package netmodel
+
+import "testing"
+
+// Fuzz targets double as robustness tests: go test runs the seed corpus
+// on every invocation, and `go test -fuzz` explores further.
+
+func FuzzParseIP(f *testing.F) {
+	for _, seed := range []string{"1.2.3.4", "255.255.255.255", "0.0.0.0", "999.1.1.1", "", "a.b.c.d", "1.2.3.4.5", "01.2.3.4"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIP(s)
+		if err != nil {
+			return
+		}
+		// Valid parses must round-trip exactly.
+		back, err := ParseIP(ip.String())
+		if err != nil || back != ip {
+			t.Fatalf("round trip failed for %q → %v", s, ip)
+		}
+	})
+}
+
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{"10.0.0.0/8", "1.2.3.4/32", "0.0.0.0/0", "1.2.3.4/33", "x/8", "1.2.3.4/"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if !p.IsCanonical() {
+			t.Fatalf("ParsePrefix(%q) returned non-canonical %v", s, p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed for %q → %v", s, p)
+		}
+		if !p.Contains(p.First()) || !p.Contains(p.Last()) {
+			t.Fatalf("prefix %v does not contain its own range", p)
+		}
+	})
+}

@@ -1,0 +1,324 @@
+package probe
+
+import (
+	"context"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"offnetscope/internal/hg"
+	"offnetscope/internal/servefarm"
+)
+
+// liveFarm builds a miniature Internet on loopback: Google on-net and
+// off-net boxes, an Akamai edge that also serves Apple, a Cloudflare
+// customer origin, a self-signed impostor, an SNI-only server, and
+// background hosts.
+func liveFarm(t testing.TB) *servefarm.Farm {
+	t.Helper()
+	specs := []servefarm.Spec{
+		{
+			Name: "google-onnet", Organization: "Google LLC",
+			DNSNames: []string{"*.google.com", "*.googlevideo.com"},
+			Headers:  []hg.Header{{Name: "Server", Value: "gws"}},
+		},
+		{
+			Name: "google-offnet", Organization: "Google LLC",
+			DNSNames: []string{"*.googlevideo.com", "*.google.com"},
+			Headers:  []hg.Header{{Name: "Server", Value: "gws"}},
+		},
+		{
+			Name: "akamai-edge", Organization: "Akamai Technologies, Inc.",
+			DNSNames: []string{"a248.e.akamai.net"},
+			Headers:  []hg.Header{{Name: "Server", Value: "AkamaiGHost"}},
+			ExtraDomains: map[string]servefarm.ExtraCert{
+				"www.apple.com": {Organization: "Apple Inc.", DNSNames: []string{"*.apple.com"}},
+			},
+		},
+		{
+			Name: "impostor", Organization: "Google LLC",
+			DNSNames:   []string{"*.google.com"},
+			SelfSigned: true,
+			Headers:    []hg.Header{{Name: "Server", Value: "nginx"}},
+		},
+		{
+			Name: "sni-only", Organization: "Google LLC",
+			DNSNames: []string{"*.google.com"},
+			SNIOnly:  true,
+			Headers:  []hg.Header{{Name: "Server", Value: "gws"}},
+		},
+		{
+			Name: "background", Organization: "Acme Web Services",
+			DNSNames: []string{"www.acme.example"},
+			Headers:  []hg.Header{{Name: "Server", Value: "nginx"}},
+		},
+	}
+	farm, err := servefarm.Start(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(farm.Close)
+	return farm
+}
+
+func TestFetchCertsDefault(t *testing.T) {
+	farm := liveFarm(t)
+	s := New(Config{RootCAs: farm.CA.Pool(), Concurrency: 4})
+	defer s.Close()
+
+	results := s.FetchCerts(context.Background(), farm.TLSAddrs())
+	byName := map[string]CertResult{}
+	for i, r := range results {
+		byName[farm.Servers[i].Spec.Name] = r
+	}
+
+	g := byName["google-onnet"]
+	if g.Err != nil || g.LeafOrganization() != "Google LLC" || !g.Valid {
+		t.Fatalf("google-onnet: org=%q valid=%v err=%v", g.LeafOrganization(), g.Valid, g.Err)
+	}
+	names := strings.Join(g.LeafDNSNames(), ",")
+	if !strings.Contains(names, "googlevideo") {
+		t.Errorf("google-onnet dNSNames = %q", names)
+	}
+
+	imp := byName["impostor"]
+	if imp.Err != nil || len(imp.Chain) == 0 {
+		t.Fatalf("impostor should present a chain: %v", imp.Err)
+	}
+	if imp.Valid {
+		t.Error("self-signed impostor must not verify")
+	}
+
+	sni := byName["sni-only"]
+	if sni.Err == nil {
+		t.Error("SNI-only server must fail the default-certificate handshake")
+	}
+}
+
+func TestFetchCertSNI(t *testing.T) {
+	farm := liveFarm(t)
+	s := New(Config{RootCAs: farm.CA.Pool()})
+	defer s.Close()
+	ctx := context.Background()
+
+	var akamai, sniOnly *servefarm.Server
+	for _, srv := range farm.Servers {
+		switch srv.Spec.Name {
+		case "akamai-edge":
+			akamai = srv
+		case "sni-only":
+			sniOnly = srv
+		}
+	}
+
+	// The Akamai edge serves Apple's certificate for Apple SNI — the §5
+	// cross-validation surprise.
+	r := s.FetchCertSNI(ctx, akamai.TLSAddr, "www.apple.com")
+	if r.Err != nil || r.LeafOrganization() != "Apple Inc." {
+		t.Fatalf("SNI fetch: org=%q err=%v", r.LeafOrganization(), r.Err)
+	}
+	if !r.Valid {
+		t.Error("Apple chain should verify for its SNI")
+	}
+	// Default SNI still yields Akamai's own certificate.
+	r = s.FetchCertSNI(ctx, akamai.TLSAddr, "a248.e.akamai.net")
+	if r.Err != nil || !strings.Contains(r.LeafOrganization(), "Akamai") {
+		t.Fatalf("default SNI: org=%q err=%v", r.LeafOrganization(), r.Err)
+	}
+	// The SNI-only server answers when asked properly.
+	r = s.FetchCertSNI(ctx, sniOnly.TLSAddr, "www.google.com")
+	if r.Err != nil || r.LeafOrganization() != "Google LLC" {
+		t.Fatalf("sni-only with SNI: org=%q err=%v", r.LeafOrganization(), r.Err)
+	}
+}
+
+func TestFetchHeaders(t *testing.T) {
+	farm := liveFarm(t)
+	s := New(Config{})
+	defer s.Close()
+	ctx := context.Background()
+
+	google := hg.Get(hg.Google)
+	var onnet *servefarm.Server
+	for _, srv := range farm.Servers {
+		if srv.Spec.Name == "google-onnet" {
+			onnet = srv
+		}
+	}
+	res := s.FetchHeaders(ctx, []string{onnet.TLSAddr}, "www.google.com", true)
+	if res[0].Err != nil || res[0].Status != 200 {
+		t.Fatalf("https headers: %+v", res[0])
+	}
+	if !google.MatchesHeaders(res[0].Headers) {
+		t.Errorf("gws header not detected in %v", res[0].Headers)
+	}
+	// Plain HTTP too.
+	res = s.FetchHeaders(ctx, []string{onnet.HTTPAddr}, "", false)
+	if res[0].Err != nil || !google.MatchesHeaders(res[0].Headers) {
+		t.Errorf("http headers: %+v", res[0])
+	}
+}
+
+func TestLiveMethodologyEndToEnd(t *testing.T) {
+	// The full §4 loop over real sockets: learn the fingerprint from the
+	// on-net box, find candidates elsewhere, drop the invalid impostor,
+	// confirm with headers.
+	farm := liveFarm(t)
+	s := New(Config{RootCAs: farm.CA.Pool(), Concurrency: 8})
+	defer s.Close()
+	ctx := context.Background()
+
+	results := s.FetchCerts(ctx, farm.TLSAddrs())
+
+	// Step 1+2: learn dNSNames from the valid on-net certificate.
+	onNetNames := map[string]struct{}{}
+	for i, r := range results {
+		if farm.Servers[i].Spec.Name == "google-onnet" && r.Valid {
+			for _, d := range r.LeafDNSNames() {
+				onNetNames[d] = struct{}{}
+			}
+		}
+	}
+	if len(onNetNames) == 0 {
+		t.Fatal("no on-net fingerprint learned")
+	}
+
+	// Step 3: candidates (valid, org match, names subset, not on-net).
+	var confirmed []string
+	for i, r := range results {
+		srv := farm.Servers[i]
+		if srv.Spec.Name == "google-onnet" {
+			continue
+		}
+		if !r.Valid || !strings.Contains(strings.ToLower(r.LeafOrganization()), "google") {
+			continue
+		}
+		subset := true
+		for _, d := range r.LeafDNSNames() {
+			if _, ok := onNetNames[d]; !ok {
+				subset = false
+			}
+		}
+		if !subset {
+			continue
+		}
+		// Step 5: header confirmation.
+		hres := s.FetchHeaders(ctx, []string{srv.TLSAddr}, "www.google.com", true)
+		if hres[0].Err == nil && hg.Get(hg.Google).MatchesHeaders(hres[0].Headers) {
+			confirmed = append(confirmed, srv.Spec.Name)
+		}
+	}
+	if len(confirmed) != 1 || confirmed[0] != "google-offnet" {
+		t.Fatalf("confirmed = %v, want exactly google-offnet", confirmed)
+	}
+}
+
+func TestScannerTimeoutAndCancel(t *testing.T) {
+	s := New(Config{Timeout: 300 * time.Millisecond})
+	defer s.Close()
+	// Unroutable TEST-NET address: must time out, not hang.
+	start := time.Now()
+	res := s.FetchCerts(context.Background(), []string{"192.0.2.1:443"})
+	if res[0].Err == nil {
+		t.Fatal("expected a dial error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("timeout not honoured: %v", time.Since(start))
+	}
+	// Pre-cancelled context returns immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res = s.FetchCerts(ctx, []string{"192.0.2.1:443"})
+	if res[0].Err == nil && res[0].Chain == nil {
+		t.Log("cancelled scan returned zero result as expected")
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	farm := liveFarm(t)
+	s := New(Config{RatePerSecond: 10, Concurrency: 8})
+	defer s.Close()
+	addrs := make([]string, 0, 20)
+	for i := 0; i < 20; i++ {
+		addrs = append(addrs, farm.Servers[0].TLSAddr)
+	}
+	start := time.Now()
+	s.FetchCerts(context.Background(), addrs)
+	elapsed := time.Since(start)
+	// 20 probes at 10/s with a 10-token burst needs ≥ ~0.9s.
+	if elapsed < 700*time.Millisecond {
+		t.Errorf("rate limiter too permissive: 20 probes in %v", elapsed)
+	}
+}
+
+func TestRetriesRecoverFlakyServer(t *testing.T) {
+	// A listener that rejects the first TLS attempt (closing the
+	// connection) and serves properly afterwards: one retry must
+	// recover it.
+	farm := liveFarm(t)
+	target := farm.Servers[0]
+
+	flaky := newFlakyProxy(t, target.TLSAddr, 1)
+	noRetry := New(Config{Timeout: time.Second})
+	defer noRetry.Close()
+	if res := noRetry.FetchCerts(context.Background(), []string{flaky.addr()}); res[0].Err == nil {
+		t.Fatal("first attempt should fail through the flaky proxy")
+	}
+
+	flaky2 := newFlakyProxy(t, target.TLSAddr, 1)
+	withRetry := New(Config{Timeout: time.Second, Retries: 2, RetryBackoff: 10 * time.Millisecond, RootCAs: farm.CA.Pool()})
+	defer withRetry.Close()
+	res := withRetry.FetchCerts(context.Background(), []string{flaky2.addr()})
+	if res[0].Err != nil {
+		t.Fatalf("retry did not recover: %v", res[0].Err)
+	}
+	if res[0].LeafOrganization() == "" {
+		t.Fatal("no certificate fetched after retry")
+	}
+}
+
+// flakyProxy drops the first n connections, then pipes transparently.
+type flakyProxy struct {
+	ln    net.Listener
+	drops int32
+}
+
+func newFlakyProxy(t *testing.T, backend string, drops int32) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, drops: drops}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if atomic.AddInt32(&p.drops, -1) >= 0 {
+				conn.Close()
+				continue
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				up, err := net.Dial("tcp", backend)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				done := make(chan struct{}, 2)
+				go func() { io.Copy(up, c); done <- struct{}{} }() //nolint:errcheck
+				go func() { io.Copy(c, up); done <- struct{}{} }() //nolint:errcheck
+				<-done
+			}(conn)
+		}
+	}()
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	got := Sparkline([]int{0, 0, 0})
+	if utf8.RuneCountInString(got) != 3 {
+		t.Errorf("zero series length = %q", got)
+	}
+	got = Sparkline([]int{1, 2, 4, 8})
+	if utf8.RuneCountInString(got) != 4 {
+		t.Fatalf("length = %q", got)
+	}
+	runes := []rune(got)
+	if runes[3] != '█' {
+		t.Errorf("max value should be a full block: %q", got)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone series rendered non-monotonically: %q", got)
+		}
+	}
+}
+
+func TestSparklineScalesQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		values := make([]int, len(raw))
+		for i, v := range raw {
+			values[i] = int(v)
+		}
+		got := Sparkline(values)
+		return utf8.RuneCountInString(got) == len(values)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkRow(t *testing.T) {
+	row := SparkRow("Google", []int{10, 20, 40})
+	for _, want := range []string{"Google", "10", "40"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("row %q missing %q", row, want)
+		}
+	}
+	if !strings.Contains(SparkRow("x", nil), "no data") {
+		t.Error("empty row should say so")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); utf8.RuneCountInString(got) != 10 {
+		t.Errorf("bar width = %q", got)
+	}
+	if got := Bar(10, 10, 8); strings.Contains(got, "·") {
+		t.Errorf("full bar should have no empty cells: %q", got)
+	}
+	if got := Bar(0, 10, 8); strings.Contains(got, "█") {
+		t.Errorf("empty bar should have no full cells: %q", got)
+	}
+	if Bar(5, 0, 10) != "" || Bar(5, 10, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+	// Overflow clamps.
+	if got := Bar(100, 10, 8); utf8.RuneCountInString(got) != 8 {
+		t.Errorf("overflow bar = %q", got)
+	}
+}
+
+func TestBarRow(t *testing.T) {
+	row := BarRow("Stub", 3, 10, 10)
+	if !strings.Contains(row, "Stub") || !strings.Contains(row, "3") {
+		t.Errorf("row = %q", row)
+	}
+}
+
+func TestStackedShares(t *testing.T) {
+	row := StackedShares("2021-04", []float64{25, 50, 25}, 20)
+	if !strings.Contains(row, "2021-04") {
+		t.Errorf("row = %q", row)
+	}
+	if !strings.Contains(row, "25%") && !strings.Contains(row, "50") {
+		t.Errorf("percentages missing: %q", row)
+	}
+	// Zero shares render as a dotted bar without dividing by zero.
+	row = StackedShares("empty", []float64{0, 0}, 10)
+	if !strings.Contains(row, strings.Repeat("·", 10)) {
+		t.Errorf("zero shares row = %q", row)
+	}
+}

@@ -1,0 +1,141 @@
+package scanners
+
+import (
+	"testing"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+var testWorld = func() *worldsim.World {
+	w, err := worldsim.New(worldsim.Config{Seed: 42, Scale: 0.02})
+	if err != nil {
+		panic(err)
+	}
+	return w
+}()
+
+func lastS() timeline.Snapshot { return timeline.Snapshot(timeline.Count() - 1) }
+
+func TestAvailabilityWindows(t *testing.T) {
+	if Scan(testWorld, CensysProfile(), 10) != nil {
+		t.Error("Censys must have no data before 2019-10")
+	}
+	if Scan(testWorld, CertigoProfile(), 0) != nil {
+		t.Error("certigo is a one-off late scan")
+	}
+	snap := Scan(testWorld, Rapid7Profile(), 0)
+	if snap == nil || len(snap.Certs) == 0 {
+		t.Fatal("Rapid7 must cover the whole window")
+	}
+	if len(snap.HTTPS) != 0 {
+		t.Error("Rapid7 HTTPS headers must not exist before 2016-07")
+	}
+	if len(snap.HTTP) == 0 {
+		t.Error("Rapid7 HTTP headers exist from the start")
+	}
+	snap = Scan(testWorld, Rapid7Profile(), 12)
+	if len(snap.HTTPS) == 0 {
+		t.Error("Rapid7 HTTPS headers exist after 2016-07")
+	}
+}
+
+func TestCertigoSeesMore(t *testing.T) {
+	s := Nov2019()
+	r7 := Scan(testWorld, Rapid7Profile(), s)
+	ac := Scan(testWorld, CertigoProfile(), s)
+	if len(ac.Certs) <= len(r7.Certs) {
+		t.Errorf("certigo (%d) should see more IPs than Rapid7 (%d)", len(ac.Certs), len(r7.Certs))
+	}
+	if len(ac.HTTPS)+len(ac.HTTP) != 0 {
+		t.Error("certigo collects no headers")
+	}
+}
+
+func Nov2019() timeline.Snapshot { return timeline.Snapshot(24) }
+
+func TestScanDeterministic(t *testing.T) {
+	a := Scan(testWorld, Rapid7Profile(), 15)
+	b := Scan(testWorld, Rapid7Profile(), 15)
+	if len(a.Certs) != len(b.Certs) || len(a.HTTP) != len(b.HTTP) {
+		t.Fatal("same scan twice differs")
+	}
+	for i := range a.Certs {
+		if a.Certs[i].IP != b.Certs[i].IP {
+			t.Fatal("record order differs")
+		}
+	}
+}
+
+func TestBlocklistGrows(t *testing.T) {
+	p := Rapid7Profile()
+	excludedEarly, excludedLate := 0, 0
+	g := testWorld.Graph()
+	for i := 1; i <= g.NumASes(); i++ {
+		as := astopo.ASN(i)
+		if p.excluded(as, 0) {
+			excludedEarly++
+		}
+		if p.excluded(as, lastS()) {
+			excludedLate++
+		}
+		if p.excluded(as, 0) && !p.excluded(as, lastS()) {
+			t.Fatal("blocklist removals must not happen")
+		}
+	}
+	if excludedLate <= excludedEarly {
+		t.Errorf("blocklist should grow: %d → %d", excludedEarly, excludedLate)
+	}
+}
+
+func TestOnNetNeverExcluded(t *testing.T) {
+	// Every hypergiant must have on-net certificate records in every
+	// vendor's scan — otherwise fingerprint learning dies.
+	for _, v := range []Profile{Rapid7Profile(), CensysProfile()} {
+		s := lastS()
+		snap := Scan(testWorld, v, s)
+		mapper := testWorld.IP2AS(s)
+		seen := map[hg.ID]bool{}
+		for _, cr := range snap.Certs {
+			for _, as := range mapper.Lookup(cr.IP) {
+				if id, ok := testWorld.HGOfOnNetAS(as); ok {
+					seen[id] = true
+				}
+			}
+		}
+		for _, h := range hg.All() {
+			if !seen[h.ID] {
+				t.Errorf("%s: no on-net records for %v", v.Vendor, h.ID)
+			}
+		}
+	}
+}
+
+func TestZGrabValidation(t *testing.T) {
+	s := lastS()
+	gASes := testWorld.TrueOffNetASes(hg.Google, s)
+	if len(gASes) == 0 {
+		t.Fatal("no Google off-nets")
+	}
+	ip := offNetIPOf(t, gASes[0])
+	if res := ZGrab(testWorld, ip, "www.google.com", s); !res.TLSValid {
+		t.Errorf("Google off-net should validate www.google.com: %+v", res)
+	}
+	if res := ZGrab(testWorld, ip, "www.facebook.com", s); res.TLSValid {
+		t.Error("Google off-net must not validate www.facebook.com")
+	}
+	if res := ZGrab(testWorld, netmodel.MustParseIP("0.0.0.9"), "x.example", s); res.Reachable {
+		t.Error("unallocated space must be unreachable")
+	}
+}
+
+// offNetIPOf computes the first Google off-net IP in as using the world
+// layout (first prefix, Google's slot).
+func offNetIPOf(t *testing.T, as astopo.ASN) netmodel.IP {
+	t.Helper()
+	p := testWorld.Alloc().PrefixesOf(as)[0]
+	return p.Addr + netmodel.IP(10+(int(hg.Google)-1)*8)
+}

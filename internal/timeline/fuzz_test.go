@@ -1,0 +1,21 @@
+package timeline
+
+import "testing"
+
+func FuzzFromLabel(f *testing.F) {
+	for _, seed := range []string{"2013-10", "2021-04", "2016-07", "1999-01", "x", "2014-1", "2014-02"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		snap, ok := FromLabel(s)
+		if !ok {
+			return
+		}
+		if !snap.Valid() {
+			t.Fatalf("FromLabel(%q) returned invalid snapshot %d", s, snap)
+		}
+		if back, ok2 := FromLabel(snap.Label()); !ok2 || back != snap {
+			t.Fatalf("label round trip failed: %q → %v → %q", s, snap, snap.Label())
+		}
+	})
+}

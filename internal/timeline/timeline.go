@@ -1,0 +1,89 @@
+// Package timeline defines the study clock: the quarterly snapshot grid
+// from October 2013 to April 2021 that every dataset in the paper is
+// aggregated on (31 snapshots). All simulators and analyses address time
+// through Snapshot indices so the whole system shares one calendar.
+package timeline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Snapshot is a quarterly snapshot index: 0 is 2013-10, Count()-1 is
+// 2021-04.
+type Snapshot int
+
+// start is the first snapshot month.
+var start = time.Date(2013, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+// Count returns the number of snapshots in the study period (31).
+func Count() int { return 31 }
+
+// All returns every snapshot in order.
+func All() []Snapshot {
+	out := make([]Snapshot, Count())
+	for i := range out {
+		out[i] = Snapshot(i)
+	}
+	return out
+}
+
+// Valid reports whether s is inside the study period.
+func (s Snapshot) Valid() bool { return s >= 0 && int(s) < Count() }
+
+// Time returns the first instant of the snapshot's month.
+func (s Snapshot) Time() time.Time {
+	return start.AddDate(0, 3*int(s), 0)
+}
+
+// MidTime returns an instant mid-month, used as "scan time" when
+// validating certificate windows.
+func (s Snapshot) MidTime() time.Time {
+	return s.Time().AddDate(0, 0, 14)
+}
+
+// EndTime returns the first instant after the snapshot's month.
+func (s Snapshot) EndTime() time.Time {
+	return s.Time().AddDate(0, 1, 0)
+}
+
+// Label renders the snapshot as the paper labels its x-axes: "2013-10".
+func (s Snapshot) Label() string {
+	t := s.Time()
+	return fmt.Sprintf("%04d-%02d", t.Year(), int(t.Month()))
+}
+
+// String implements fmt.Stringer.
+func (s Snapshot) String() string { return s.Label() }
+
+// FromLabel parses a "YYYY-MM" label back into a snapshot. It returns
+// false if the label does not land exactly on the quarterly grid.
+func FromLabel(label string) (Snapshot, bool) {
+	var y, m int
+	if _, err := fmt.Sscanf(label, "%d-%d", &y, &m); err != nil {
+		return 0, false
+	}
+	months := (y-start.Year())*12 + (m - int(start.Month()))
+	if months < 0 || months%3 != 0 {
+		return 0, false
+	}
+	s := Snapshot(months / 3)
+	if !s.Valid() {
+		return 0, false
+	}
+	return s, true
+}
+
+// At returns the snapshot whose quarter contains t, and false if t is
+// outside the study period.
+func At(t time.Time) (Snapshot, bool) {
+	if t.Before(start) {
+		return 0, false
+	}
+	months := (t.Year()-start.Year())*12 + int(t.Month()) - int(start.Month())
+	s := Snapshot(months / 3)
+	if !s.Valid() {
+		return 0, false
+	}
+	return s, true
+}

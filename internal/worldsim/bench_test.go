@@ -1,0 +1,61 @@
+package worldsim
+
+import (
+	"testing"
+
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+)
+
+func hgTop4ForBench() hg.ID { return hg.Google }
+
+// BenchmarkHostAt measures targeted host resolution — the hot path of
+// ZGrab-style validation probes.
+func BenchmarkHostAt(b *testing.B) {
+	w := testWorld
+	s := last()
+	var ips []netmodel.IP
+	w.Hosts(s, func(h *Host) bool {
+		ips = append(ips, h.IP)
+		return len(ips) < 4096
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.HostAt(ips[i%len(ips)], s); !ok {
+			b.Fatal("missing host")
+		}
+	}
+}
+
+// BenchmarkHostsEnumeration measures a full sweep of one snapshot — the
+// unit of work behind every scan.
+func BenchmarkHostsEnumeration(b *testing.B) {
+	w := testWorld
+	s := last()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		w.Hosts(s, func(*Host) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no hosts")
+		}
+	}
+}
+
+// BenchmarkProbe measures the simulated SNI probe.
+func BenchmarkProbe(b *testing.B) {
+	w := testWorld
+	s := last()
+	ases := w.TrueOffNetASes(hgTop4ForBench(), s)
+	if len(ases) == 0 {
+		b.Skip("no off-nets")
+	}
+	ip := w.offNetIP(ases[0], hgTop4ForBench(), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := w.Probe(ip, "www.google.com", s)
+		if !res.Reachable {
+			b.Fatal("unreachable")
+		}
+	}
+}

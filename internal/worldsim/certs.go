@@ -1,0 +1,272 @@
+package worldsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"offnetscope/internal/certmodel"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+)
+
+// Certificate minting is a pure function of stable keys so that every
+// scan of the same host in the same snapshot observes the identical
+// certificate, regardless of evaluation order. No shared RNG stream is
+// consumed here.
+
+// mix64 is the splitmix64 finaliser used to derive keys and serials.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// h folds the world seed and arbitrary parts into one stable hash.
+func (w *World) h(parts ...uint64) uint64 {
+	acc := mix64(w.cfg.Seed ^ 0x0ff7e75c09e5ab1d)
+	for _, p := range parts {
+		acc = mix64(acc ^ p)
+	}
+	return acc
+}
+
+// hstr folds a string into a stable hash.
+func hstr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// certEpoch anchors renewal periods.
+var certEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// certWindow returns the validity window of a certificate with the given
+// lifetime that is current at instant at. Renewals snap to a global grid
+// so every holder of "the same" certificate renews in lockstep.
+func certWindow(lifetimeDays int, at time.Time) (nb, na time.Time, period uint64) {
+	if lifetimeDays <= 0 {
+		lifetimeDays = 365
+	}
+	days := int(at.Sub(certEpoch).Hours() / 24)
+	p := days / lifetimeDays
+	nb = certEpoch.AddDate(0, 0, p*lifetimeDays)
+	na = nb.AddDate(0, 0, lifetimeDays)
+	return nb, na, uint64(p)
+}
+
+// mintKind selects the issuer of a minted chain.
+type mintKind int
+
+const (
+	mintTrusted mintKind = iota
+	mintUntrusted
+	mintSelfSigned
+)
+
+// mintChain builds a deterministic chain for key. Trusted chains go
+// through one of the WebPKI intermediates; untrusted ones through the
+// rogue CA; self-signed chains are a bare leaf.
+func (w *World) mintChain(key uint64, org, cn string, dns []string, nb, na time.Time, kind mintKind) certmodel.Chain {
+	leafKeyID := certmodel.KeyID(mix64(key ^ 0xaaaa))
+	leaf := &certmodel.Certificate{
+		SerialNumber: mix64(key ^ 0xbbbb),
+		Subject:      certmodel.Name{Organization: org, CommonName: cn},
+		DNSNames:     dns,
+		NotBefore:    nb,
+		NotAfter:     na,
+		Key:          leafKeyID,
+	}
+	switch kind {
+	case mintSelfSigned:
+		leaf.Issuer = leaf.Subject
+		leaf.SignedBy = leafKeyID
+		return certmodel.Chain{leaf}
+	case mintUntrusted:
+		leaf.Issuer = w.rogueInt.Subject
+		leaf.SignedBy = w.rogueInt.Key
+		return certmodel.Chain{leaf, w.rogueInt, w.rogueRoot}
+	default:
+		inter := w.caInter[key%uint64(len(w.caInter))]
+		leaf.Issuer = inter.Subject
+		leaf.SignedBy = inter.Key
+		return certmodel.Chain{leaf, inter, w.caRoot}
+	}
+}
+
+// subjectOrg returns the hypergiant's certificate Subject Organization at
+// snapshot s, tracking the 2017 Google Inc. → Google LLC style renames.
+func subjectOrg(h *hg.Hypergiant, s timeline.Snapshot) string {
+	if len(h.OrgNames) > 1 && s >= 14 {
+		return h.OrgNames[len(h.OrgNames)-1]
+	}
+	return h.OrgNames[0]
+}
+
+// groupDomains returns the dNSNames of the hypergiant's certificate
+// group g: a rotating 3-domain slice of its domain pool, so groups
+// overlap but differ. Group 0 always contains the dominant delivery
+// domain (Domains[1] for Google is *.googlevideo.com).
+func groupDomains(h *hg.Hypergiant, g int) []string {
+	n := len(h.Domains)
+	k := 3
+	if k > n {
+		k = n
+	}
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, h.Domains[(g*2+i)%n])
+	}
+	return out
+}
+
+// groupShares returns the fraction of serving IPs per certificate group
+// at snapshot s (Zipf with the strategy's time-varying exponent; Fig 11).
+func groupShares(st *strategy, s timeline.Snapshot) []float64 {
+	skew := interpolate(st.certGroupSkew, s)
+	shares := make([]float64, st.certGroups)
+	var total float64
+	for g := range shares {
+		shares[g] = math.Pow(float64(g+1), -skew)
+		total += shares[g]
+	}
+	for g := range shares {
+		shares[g] /= total
+	}
+	return shares
+}
+
+// pickGroup maps a stable per-IP hash onto a certificate group according
+// to the group shares at s.
+func pickGroup(st *strategy, s timeline.Snapshot, hash uint64) int {
+	shares := groupShares(st, s)
+	x := float64(hash%1e9) / 1e9
+	for g, sh := range shares {
+		x -= sh
+		if x < 0 {
+			return g
+		}
+	}
+	return len(shares) - 1
+}
+
+// hgGroupCert mints the hypergiant's certificate for group g current at
+// snapshot s, respecting the strategy's certificate lifetime (renewals
+// change the serial, reproducing appendix A.3's expiry-time behaviour).
+func (w *World) hgGroupCert(id hg.ID, g int, s timeline.Snapshot) certmodel.Chain {
+	h := hg.Get(id)
+	st := strategies[id]
+	lifetime := int(interpolate(st.certLifetimeDays, s))
+	nb, na, period := certWindow(lifetime, s.MidTime())
+	dns := groupDomains(h, g)
+	key := w.h(uint64(id), uint64(g), period, hstr("hg-group-cert"))
+	return w.mintChain(key, subjectOrg(h, s), dns[0], dns, nb, na, mintTrusted)
+}
+
+// expiredNetflixCert is the frozen certificate a share of Netflix
+// off-nets kept serving between 2017-04 and 2019-07 (§6.2): it is the
+// group certificate as minted in early 2017, so its NotAfter falls
+// before later scan times.
+func (w *World) expiredNetflixCert(g int) certmodel.Chain {
+	h := hg.Get(hg.Netflix)
+	frozen := timeline.Snapshot(13) // 2017-01, the last renewal before the era
+	st := strategies[hg.Netflix]
+	lifetime := int(interpolate(st.certLifetimeDays, frozen))
+	nb, na, period := certWindow(lifetime, frozen.MidTime())
+	dns := groupDomains(h, g)
+	key := w.h(uint64(hg.Netflix), uint64(g), period, hstr("hg-group-cert"))
+	return w.mintChain(key, subjectOrg(h, frozen), dns[0], dns, nb, na, mintTrusted)
+}
+
+// Cloudflare customer certificates (§7). Universal certificates carry a
+// (ssl|sni)<n>.cloudflaressl.com entry plus the customer's domain;
+// enterprise dedicated certificates carry only customer domains. Both
+// are served by Cloudflare's own edge (on-net) *and* by the customer's
+// origin server in another AS — which is exactly why the dNSName-subset
+// rule cannot reject them and a dedicated filter is needed.
+
+type cfCustomerKind int
+
+const (
+	cfUniversal    cfCustomerKind = iota // sniNNN.cloudflaressl.com pattern
+	cfUniversalOdd                       // universal but non-standard naming
+	cfEnterprise                         // dedicated certificate, no pattern
+)
+
+// cfCustomerKindOf classifies a Cloudflare customer AS deterministically:
+// ~75 % universal, ~5 % non-standard universal, ~20 % enterprise.
+func (w *World) cfCustomerKindOf(as uint64) cfCustomerKind {
+	x := w.h(as, hstr("cf-kind")) % 100
+	switch {
+	case x < 75:
+		return cfUniversal
+	case x < 80:
+		return cfUniversalOdd
+	default:
+		return cfEnterprise
+	}
+}
+
+// cfCustomerCert mints the certificate Cloudflare issued to the customer
+// hosted in AS as, current at snapshot s.
+func (w *World) cfCustomerCert(as uint64, s timeline.Snapshot) certmodel.Chain {
+	kind := w.cfCustomerKindOf(as)
+	nb, na, period := certWindow(365, s.MidTime())
+	id := w.h(as, hstr("cf-cust-id")) % 100000
+	customer := fmt.Sprintf("*.customer-%d.example", id)
+	var dns []string
+	switch kind {
+	case cfUniversal:
+		dns = []string{fmt.Sprintf("sni%d.cloudflaressl.com", id), customer}
+	case cfUniversalOdd:
+		dns = []string{fmt.Sprintf("cust-%d.cloudflaressl.com", id), customer}
+	default:
+		dns = []string{customer, fmt.Sprintf("secure.customer-%d.example", id)}
+	}
+	key := w.h(as, period, hstr("cf-cust-cert"))
+	return w.mintChain(key, "Cloudflare, Inc.", dns[0], dns, nb, na, mintTrusted)
+}
+
+// backgroundOrgPool supplies organization names for unrelated hosts.
+var backgroundOrgPool = []string{
+	"Acme Web Services", "Initech Hosting", "Globex Online", "Umbrella Web",
+	"Hooli Cloud", "Piedmont Media", "Vandelay Industries", "Stark Web Systems",
+	"Wayne Digital", "Tyrell Hosting", "Cyberdyne Net", "Aperture Online",
+}
+
+// backgroundCert mints the default certificate of an unrelated TLS host.
+// class encodes the §4.1 validity mix.
+func (w *World) backgroundCert(key uint64, class hostClass, s timeline.Snapshot) certmodel.Chain {
+	org := backgroundOrgPool[key%uint64(len(backgroundOrgPool))]
+	site := fmt.Sprintf("www.site-%d.example", key%1000000)
+	dns := []string{site, "*.site-" + fmt.Sprint(key%1000000) + ".example"}
+	nb, na, period := certWindow(365, s.MidTime())
+	switch class {
+	case classExpired:
+		// A certificate from two renewal periods ago: expired at scan time.
+		old := certEpoch.AddDate(0, 0, int(period-2)*365)
+		return w.mintChain(w.h(key, period-2), org, site, dns, old, old.AddDate(0, 0, 365), mintTrusted)
+	case classSelfSigned:
+		return w.mintChain(w.h(key, period), org, site, dns, nb, na, mintSelfSigned)
+	case classUntrusted:
+		return w.mintChain(w.h(key, period), org, site, dns, nb, na, mintUntrusted)
+	case classImposter:
+		// Anyone can self-sign a certificate claiming to be a hypergiant.
+		imp := hg.All()[key%uint64(hg.Count)]
+		return w.mintChain(w.h(key, period), imp.OrgNames[0], imp.Domains[0], imp.Domains[:1], nb, na, mintSelfSigned)
+	case classSharedCert:
+		// A valid CA-signed certificate shared between a hypergiant and a
+		// partner: carries the HG's organization and one HG domain plus
+		// the partner's own domain. The dNSName-subset rule must reject
+		// these candidates (§4.3).
+		own := hg.All()[key%uint64(hg.Count)]
+		dns := []string{own.Domains[0], fmt.Sprintf("*.partner-%d.example", key%10000)}
+		return w.mintChain(w.h(key, period), own.OrgNames[len(own.OrgNames)-1], dns[1], dns, nb, na, mintTrusted)
+	default:
+		return w.mintChain(w.h(key, period), org, site, dns, nb, na, mintTrusted)
+	}
+}

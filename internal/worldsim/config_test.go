@@ -1,0 +1,175 @@
+package worldsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+)
+
+func TestInterpolate(t *testing.T) {
+	curve := []anchor{{0, 100}, {10, 200}, {30, 200}}
+	cases := []struct {
+		s    timeline.Snapshot
+		want float64
+	}{
+		{0, 100}, {5, 150}, {10, 200}, {20, 200}, {30, 200},
+	}
+	for _, c := range cases {
+		if got := interpolate(curve, c.s); got != c.want {
+			t.Errorf("interpolate(%d) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if interpolate(nil, 5) != 0 {
+		t.Error("empty curve should evaluate to 0")
+	}
+	// Clamping outside the anchor range.
+	if interpolate(curve, -5) != 100 || interpolate(curve, 100) != 200 {
+		t.Error("interpolate must clamp outside the range")
+	}
+}
+
+func TestInterpolateBoundedQuick(t *testing.T) {
+	curve := []anchor{{0, 10}, {8, 50}, {16, 30}, {30, 90}}
+	lo, hi := 10.0, 90.0
+	f := func(raw int8) bool {
+		v := interpolate(curve, timeline.Snapshot(raw))
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategiesCoverAllHypergiants(t *testing.T) {
+	for _, h := range hg.All() {
+		st, ok := strategies[h.ID]
+		if !ok {
+			t.Fatalf("%v has no strategy", h.ID)
+		}
+		if len(st.onNetIPs) == 0 {
+			t.Errorf("%v has no on-net IP curve", h.ID)
+		}
+		if st.certGroups <= 0 {
+			t.Errorf("%v has no certificate groups", h.ID)
+		}
+		if len(st.certLifetimeDays) == 0 {
+			t.Errorf("%v has no certificate lifetime curve", h.ID)
+		}
+		if st.offNetIPsPerAS < 1 {
+			t.Errorf("%v offNetIPsPerAS = %d", h.ID, st.offNetIPsPerAS)
+		}
+	}
+}
+
+func TestStrategyAnchorsMatchPaperTable3(t *testing.T) {
+	// Spot-check the paper-anchored values (real-Internet scale).
+	cases := []struct {
+		id   hg.ID
+		s    timeline.Snapshot
+		want float64
+	}{
+		{hg.Google, 0, 1044},
+		{hg.Google, 30, 3810},
+		{hg.Facebook, 30, 2214},
+		{hg.Netflix, 30, 2115},
+		{hg.Akamai, 18, 1463},
+		{hg.Akamai, 30, 1094},
+		{hg.Amazon, 15, 112},
+		{hg.Twitter, 30, 4},
+	}
+	for _, c := range cases {
+		if got := interpolate(strategies[c.id].offNetASes, c.s); got != c.want {
+			t.Errorf("%v@%v = %v, want %v (Table 3)", c.id, c.s.Label(), got, c.want)
+		}
+	}
+}
+
+func TestCertWindowGrid(t *testing.T) {
+	at := timeline.Snapshot(20).MidTime()
+	nb, na, period := certWindow(90, at)
+	if !nb.Before(at) || !na.After(at) {
+		t.Fatalf("window [%v, %v] does not contain %v", nb, na, at)
+	}
+	if na.Sub(nb).Hours() != 90*24 {
+		t.Errorf("window length = %v", na.Sub(nb))
+	}
+	// Same instant → same period; one lifetime later → next period.
+	_, _, p2 := certWindow(90, at)
+	if p2 != period {
+		t.Error("certWindow not deterministic")
+	}
+	_, _, p3 := certWindow(90, at.AddDate(0, 0, 90))
+	if p3 != period+1 {
+		t.Errorf("period after one lifetime = %d, want %d", p3, period+1)
+	}
+	// Degenerate lifetime falls back to a year.
+	nb, na, _ = certWindow(0, at)
+	if na.Sub(nb).Hours() != 365*24 {
+		t.Errorf("fallback window length = %v", na.Sub(nb))
+	}
+}
+
+func TestGroupDomainsWithinPool(t *testing.T) {
+	for _, h := range hg.All() {
+		pool := map[string]bool{}
+		for _, d := range h.Domains {
+			pool[d] = true
+		}
+		st := strategies[h.ID]
+		for g := 0; g < st.certGroups; g++ {
+			ds := groupDomains(h, g)
+			if len(ds) == 0 {
+				t.Fatalf("%v group %d has no domains", h.ID, g)
+			}
+			for _, d := range ds {
+				if !pool[d] {
+					t.Errorf("%v group %d domain %q outside pool", h.ID, g, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCFCustomerKindsDistribution(t *testing.T) {
+	w := testWorld
+	counts := map[cfCustomerKind]int{}
+	for as := uint64(1); as <= 5000; as++ {
+		counts[w.cfCustomerKindOf(as)]++
+	}
+	total := 5000.0
+	if frac := float64(counts[cfUniversal]) / total; frac < 0.70 || frac > 0.80 {
+		t.Errorf("universal fraction = %v, want ~0.75", frac)
+	}
+	if frac := float64(counts[cfEnterprise]) / total; frac < 0.15 || frac > 0.25 {
+		t.Errorf("enterprise fraction = %v, want ~0.20", frac)
+	}
+}
+
+func TestCloudflareFilterRegexShape(t *testing.T) {
+	// The world's universal certificates must match the §7 filter
+	// pattern; enterprise ones must not.
+	w := testWorld
+	s := last()
+	for as := uint64(1); as <= 200; as++ {
+		ch := w.cfCustomerCert(as, s)
+		hasPattern := false
+		for _, d := range ch.LeafDNSNames() {
+			if strings.HasSuffix(d, ".cloudflaressl.com") && (strings.HasPrefix(d, "sni") || strings.HasPrefix(d, "ssl")) {
+				hasPattern = true
+			}
+		}
+		switch w.cfCustomerKindOf(as) {
+		case cfUniversal:
+			if !hasPattern {
+				t.Fatalf("universal cert without sni pattern: %v", ch.LeafDNSNames())
+			}
+		case cfEnterprise:
+			if hasPattern {
+				t.Fatalf("enterprise cert with sni pattern: %v", ch.LeafDNSNames())
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package worldsim
+
+import (
+	"fmt"
+
+	"offnetscope/internal/hg"
+)
+
+// Header behaviour: what servers actually put on the wire. The
+// fingerprints in package hg are what the *measurer* looks for; this
+// file is what the *servers* send, including the hypergiants whose
+// debug headers never appear in anonymous scans (Netflix, Hulu).
+
+// commonHeaders are the standard headers almost every response carries;
+// the §4.4 mining step must learn to ignore them.
+func commonHeaders(key uint64) []hg.Header {
+	return []hg.Header{
+		{Name: "Content-Type", Value: "text/html; charset=utf-8"},
+		{Name: "Cache-Control", Value: "max-age=3600"},
+		{Name: "Content-Length", Value: fmt.Sprint(512 + key%4096)},
+		{Name: "Connection", Value: "keep-alive"},
+		{Name: "Vary", Value: "Accept-Encoding"},
+	}
+}
+
+// genericServers is the server-software pool of unrelated hosts.
+var genericServers = []string{"nginx", "nginx/1.18.0", "Apache/2.4.41", "Microsoft-IIS/8.5", "openresty", "lighttpd/1.4.55"}
+
+// genericHeaders is what a background host (or a hypergiant hiding its
+// debug headers) sends.
+func genericHeaders(key uint64) []hg.Header {
+	hd := []hg.Header{{Name: "Server", Value: genericServers[key%uint64(len(genericServers))]}}
+	return append(hd, commonHeaders(key)...)
+}
+
+// nginxHeaders is the default-nginx response of Netflix and Hulu edge
+// servers to anonymous requests (§4.4, §7 Missing Headers).
+func nginxHeaders(key uint64) []hg.Header {
+	return append([]hg.Header{{Name: "Server", Value: "nginx"}}, commonHeaders(key)...)
+}
+
+// hgServerHeaders returns the identifying headers the hypergiant's
+// serving software actually emits, matching Table 4.
+func hgServerHeaders(id hg.ID, key uint64) []hg.Header {
+	tag := fmt.Sprintf("%016x", mix64(key))
+	var own []hg.Header
+	switch id {
+	case hg.Google:
+		own = []hg.Header{{Name: "Server", Value: "gws"}, {Name: "X-Google-Security-Signals", Value: "env=prod"}}
+		if key%3 == 0 {
+			own[0].Value = "gvs 1.0"
+		}
+	case hg.Facebook:
+		own = []hg.Header{{Name: "Server", Value: "proxygen-bolt"}, {Name: "X-FB-Debug", Value: tag + "=="}}
+	case hg.Akamai:
+		own = []hg.Header{{Name: "Server", Value: "AkamaiGHost"}}
+		if key%11 == 0 {
+			own[0].Value = "AkamaiNetStorage"
+		}
+	case hg.Alibaba:
+		own = []hg.Header{{Name: "Server", Value: "Tengine/2.3.2"}, {Name: "EagleId", Value: tag[:12]}}
+	case hg.Cloudflare:
+		own = []hg.Header{{Name: "Server", Value: "cloudflare"}, {Name: "cf-ray", Value: tag[:10] + "-IAD"}}
+	case hg.Amazon:
+		own = []hg.Header{{Name: "x-amz-request-id", Value: tag[:16]}}
+		if key%2 == 0 {
+			own = append(own, hg.Header{Name: "Server", Value: "AmazonS3"})
+		} else {
+			own = append(own, hg.Header{Name: "X-Amz-Cf-Pop", Value: "IAD89-C1"}, hg.Header{Name: "X-Cache", Value: "Hit from cloudfront"})
+		}
+	case hg.CDNetworks:
+		own = []hg.Header{{Name: "Server", Value: "PWS/8.3.1.0.8"}}
+	case hg.Limelight:
+		own = []hg.Header{{Name: "Server", Value: "EdgePrism/4.2.0.0"}, {Name: "X-LLID", Value: tag[:8]}}
+	case hg.Apple:
+		own = []hg.Header{{Name: "CDNUUID", Value: tag}, {Name: "Server", Value: "ATS/8.1"}}
+	case hg.Twitter:
+		own = []hg.Header{{Name: "Server", Value: "tsa_a"}}
+	case hg.Microsoft:
+		own = []hg.Header{{Name: "X-MSEdge-Ref", Value: "Ref A: " + tag[:16]}}
+	case hg.Fastly:
+		own = []hg.Header{{Name: "X-Served-By", Value: "cache-iad-" + tag[:6]}}
+	case hg.Incapsula:
+		own = []hg.Header{{Name: "X-CDN", Value: "Incapsula"}}
+	case hg.Verizon:
+		own = []hg.Header{{Name: "Server", Value: "ECAcc (iad/" + tag[:4] + ")"}}
+	case hg.Netflix, hg.Hulu:
+		// Debug headers only reach logged-in users; anonymous scans see
+		// plain nginx.
+		return nginxHeaders(key)
+	default:
+		// Disney, Yahoo, Chinacache, Cachefly, CDN77, Bamtech,
+		// Highwinds: no unique headers.
+		return genericHeaders(key)
+	}
+	return append(own, commonHeaders(key)...)
+}

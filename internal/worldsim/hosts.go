@@ -1,0 +1,688 @@
+package worldsim
+
+import (
+	"fmt"
+	"sort"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/certmodel"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// Address layout inside each eyeball AS's first prefix:
+//
+//	[0, 10)                         network plumbing, never hosts
+//	[10, 10+23*8)                   off-net servers, 8 slots per hypergiant
+//	[200, 200+23*2)                 service-present hosts, 2 slots per HG
+//	[256, ...)                      unrelated (background) TLS hosts
+//
+// Hypergiant on-net ASes instead fill [256, ...) of every prefix with
+// on-net serving IPs. The layout makes host identity a pure function of
+// the IP address, so targeted probes and full scans always agree.
+const (
+	offNetBase  = 10
+	offNetSlots = 8
+	specialBase = 200
+	specialSlot = 2
+	reservedLow = 256
+	maxBGPrefix = 1024 // background hosts per prefix, bounds enumeration
+)
+
+// hostClass is the §4.1 validity mix of background hosts.
+type hostClass int
+
+const (
+	classValid hostClass = iota
+	classExpired
+	classSelfSigned
+	classUntrusted
+	classImposter   // self-signed certificate claiming a hypergiant
+	classSharedCert // valid cert shared between a hypergiant and a partner
+)
+
+// hostKind discriminates the populations.
+type hostKind int
+
+const (
+	kindOnNet hostKind = iota
+	kindOffNet
+	kindService
+	kindBackground
+)
+
+// hostID is the resolved identity of one host.
+type hostID struct {
+	kind  hostKind
+	owner hg.ID // serving hypergiant (on-net/off-net/service)
+	via   hg.ID // hardware owner for service hosts
+	as    astopo.ASN
+	idx   int
+	class hostClass
+	ip    netmodel.IP
+}
+
+// Host is the externally visible state of one scanned host at one
+// snapshot: what answers on ports 443 and 80.
+type Host struct {
+	IP     netmodel.IP
+	TrueAS astopo.ASN
+
+	HTTPSUp bool
+	// Chain is the default certificate chain presented without SNI;
+	// nil when the server presents no default certificate (§8's
+	// hide-and-seek null-certificate behaviour).
+	Chain        certmodel.Chain
+	HTTPSHeaders []hg.Header
+
+	HTTPUp      bool
+	HTTPHeaders []hg.Header
+}
+
+// hgIdx maps a hypergiant to its address-layout slot.
+func hgIdx(id hg.ID) int { return int(id) - 1 }
+
+// --- population sizing ---
+
+// offNetIPCount is how many off-net server IPs the hypergiant runs in
+// as: at least half its nominal per-AS deployment, at most its slot
+// width. Akamai's racks dwarf everyone else's handful of caches.
+func (w *World) offNetIPCount(id hg.ID, as astopo.ASN) int {
+	ips := strategies[id].offNetIPsPerAS
+	if ips > offNetSlots {
+		ips = offNetSlots
+	}
+	if ips < 1 {
+		ips = 1
+	}
+	lo := ips/2 + 1
+	span := ips - lo + 1
+	return lo + int(w.h(uint64(id), uint64(as), hstr("offnet-ips"))%uint64(span))
+}
+
+func (w *World) serviceIPCount(id hg.ID, as astopo.ASN) int {
+	return 1 + int(w.h(uint64(id), uint64(as), hstr("svc-ips"))%specialSlot)
+}
+
+// backgroundCount is the number of unrelated TLS hosts in as at s. It
+// grows ~4× across the window (Fig 2's raw Rapid7 curve) and scales
+// with the AS's address space.
+func (w *World) backgroundCount(as astopo.ASN, s timeline.Snapshot) int {
+	if _, isHG := w.hgOfAS[as]; isHG {
+		return 0
+	}
+	if !w.graph.Active(as, s) {
+		return 0
+	}
+	var addrs uint64
+	for _, p := range w.alloc.PrefixesOf(as) {
+		addrs += p.NumAddrs()
+	}
+	sizeFactor := 1.0
+	if addrs > 512 {
+		sizeFactor = float64(addrs) / 512
+		if sizeFactor > 40 {
+			sizeFactor = 40
+		}
+		// sqrt-ish damping: big networks host more sites, sublinearly
+		for sizeFactor > 6.3 {
+			sizeFactor /= 2.5
+		}
+	}
+	u := float64(w.h(uint64(as), hstr("bg-count"))%1000) / 1000
+	perAS := 0.2 + 2.3*u*u
+	growth := 0.25 + 0.75*float64(s)/float64(timeline.Count()-1)
+	n := int(w.cfg.BackgroundHostsPerAS * perAS * sizeFactor * growth)
+	max := w.backgroundCapacity(as)
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+func (w *World) backgroundCapacity(as astopo.ASN) int {
+	total := 0
+	for _, p := range w.alloc.PrefixesOf(as) {
+		total += w.bgPrefixCap(p)
+	}
+	return total
+}
+
+func (w *World) bgPrefixCap(p netmodel.Prefix) int {
+	c := int(p.NumAddrs()) - reservedLow
+	if c < 0 {
+		return 0
+	}
+	if c > maxBGPrefix {
+		return maxBGPrefix
+	}
+	return c
+}
+
+// onNetTotal is the hypergiant's on-net serving-IP count at s.
+func (w *World) onNetTotal(id hg.ID, s timeline.Snapshot) int {
+	return w.targetCount(strategies[id].onNetIPs, s)
+}
+
+// onNetShare splits the on-net total across the hypergiant's ASes.
+func (w *World) onNetShare(id hg.ID, asIdx int, s timeline.Snapshot) int {
+	total := w.onNetTotal(id, s)
+	n := len(w.onNet[id])
+	share := total / n
+	if asIdx < total%n {
+		share++
+	}
+	// Clamp to the AS's capacity.
+	as := w.onNet[id][asIdx]
+	cap := 0
+	for _, p := range w.alloc.PrefixesOf(as) {
+		cap += int(p.NumAddrs()) - reservedLow
+	}
+	if share > cap {
+		share = cap
+	}
+	return share
+}
+
+// --- address arithmetic ---
+
+func (w *World) offNetIP(as astopo.ASN, id hg.ID, i int) netmodel.IP {
+	p := w.alloc.PrefixesOf(as)[0]
+	return p.Addr + netmodel.IP(offNetBase+hgIdx(id)*offNetSlots+i)
+}
+
+func (w *World) serviceIP(as astopo.ASN, id hg.ID, i int) netmodel.IP {
+	p := w.alloc.PrefixesOf(as)[0]
+	return p.Addr + netmodel.IP(specialBase+hgIdx(id)*specialSlot+i)
+}
+
+// onNetIP places on-net host i of (id, asIdx) into the AS's prefixes.
+func (w *World) onNetIP(id hg.ID, asIdx, i int) netmodel.IP {
+	as := w.onNet[id][asIdx]
+	for _, p := range w.alloc.PrefixesOf(as) {
+		cap := int(p.NumAddrs()) - reservedLow
+		if i < cap {
+			return p.Addr + netmodel.IP(reservedLow+i)
+		}
+		i -= cap
+	}
+	panic("worldsim: on-net index out of capacity")
+}
+
+// backgroundIP places background host seq of as into its prefixes.
+func (w *World) backgroundIP(as astopo.ASN, seq int) netmodel.IP {
+	for _, p := range w.alloc.PrefixesOf(as) {
+		cap := w.bgPrefixCap(p)
+		if seq < cap {
+			return p.Addr + netmodel.IP(reservedLow+seq)
+		}
+		seq -= cap
+	}
+	panic("worldsim: background index out of capacity")
+}
+
+// --- resolution: IP → host identity ---
+
+// resolve decodes which host, if any, answers at ip during snapshot s.
+func (w *World) resolve(ip netmodel.IP, s timeline.Snapshot) (hostID, bool) {
+	as, ok := w.alloc.TrueOwner(ip)
+	if !ok || !w.graph.Active(as, s) {
+		return hostID{}, false
+	}
+	if w.IPv6Only(as) {
+		// The network runs servers, but none of them has an IPv4
+		// address to answer the sweep on.
+		return hostID{}, false
+	}
+	prefixes := w.alloc.PrefixesOf(as)
+	pi := -1
+	var off int
+	for j, p := range prefixes {
+		if p.Contains(ip) {
+			pi, off = j, int(ip-p.Addr)
+			break
+		}
+	}
+	if pi < 0 {
+		return hostID{}, false
+	}
+
+	if owner, isOnNet := w.hgOfAS[as]; isOnNet {
+		if off < reservedLow {
+			return hostID{}, false
+		}
+		seq := off - reservedLow
+		for j := 0; j < pi; j++ {
+			seq += int(prefixes[j].NumAddrs()) - reservedLow
+		}
+		asIdx := -1
+		for k, a := range w.onNet[owner] {
+			if a == as {
+				asIdx = k
+				break
+			}
+		}
+		if asIdx < 0 || seq >= w.onNetShare(owner, asIdx, s) {
+			return hostID{}, false
+		}
+		return hostID{kind: kindOnNet, owner: owner, as: as, idx: seq, ip: ip}, true
+	}
+
+	if pi == 0 && off >= offNetBase && off < offNetBase+hg.Count*offNetSlots {
+		slot := off - offNetBase
+		id := hg.ID(slot/offNetSlots + 1)
+		i := slot % offNetSlots
+		if sp, ok := w.deployments[id][as]; ok && sp.active(s) && i < w.offNetIPCount(id, as) {
+			return hostID{kind: kindOffNet, owner: id, as: as, idx: i, ip: ip}, true
+		}
+		return hostID{}, false
+	}
+	if pi == 0 && off >= specialBase && off < specialBase+hg.Count*specialSlot {
+		slot := off - specialBase
+		id := hg.ID(slot/specialSlot + 1)
+		i := slot % specialSlot
+		if info, ok := w.service[id][as]; ok && info.active(s) && i < w.serviceIPCount(id, as) {
+			return hostID{kind: kindService, owner: id, via: info.via, as: as, idx: i, ip: ip}, true
+		}
+		return hostID{}, false
+	}
+	if off >= reservedLow {
+		seq := off - reservedLow
+		if seq >= w.bgPrefixCap(prefixes[pi]) {
+			return hostID{}, false
+		}
+		for j := 0; j < pi; j++ {
+			seq += w.bgPrefixCap(prefixes[j])
+		}
+		if seq >= w.backgroundCount(as, s) {
+			return hostID{}, false
+		}
+		key := w.h(uint64(as), uint64(seq), hstr("bg-host"))
+		return hostID{kind: kindBackground, as: as, idx: seq, class: bgClass(key), ip: ip}, true
+	}
+	return hostID{}, false
+}
+
+func bgClass(key uint64) hostClass {
+	switch x := key % 1000; {
+	case x < 620:
+		return classValid
+	case x < 770:
+		return classExpired
+	case x < 870:
+		return classSelfSigned
+	case x < 950:
+		return classUntrusted
+	case x < 958:
+		return classImposter
+	case x < 962:
+		return classSharedCert
+	default:
+		return classValid
+	}
+}
+
+// --- state construction ---
+
+// build fills host with the observable state of hid at snapshot s.
+func (w *World) build(hid hostID, s timeline.Snapshot, host *Host) {
+	*host = Host{IP: hid.ip, TrueAS: hid.as, HTTPSUp: true, HTTPUp: true}
+	switch hid.kind {
+	case kindOnNet:
+		w.buildOnNet(hid, s, host)
+	case kindOffNet:
+		w.buildOffNet(hid, s, host)
+	case kindService:
+		w.buildService(hid, s, host)
+	default:
+		w.buildBackground(hid, s, host)
+	}
+}
+
+func (w *World) buildOnNet(hid hostID, s timeline.Snapshot, host *Host) {
+	id := hid.owner
+	st := strategies[id]
+	key := w.h(uint64(id), uint64(hid.as), uint64(hid.idx), hstr("onnet"))
+	host.HTTPSHeaders = hgServerHeaders(id, key)
+	host.HTTPHeaders = host.HTTPSHeaders
+
+	// Cloudflare's edge also serves its customers' certificates, which
+	// is what makes the customer-origin copies pass the dNSName-subset
+	// rule (§7).
+	if st.cloudflareIssuer && key%2 == 0 {
+		if custs := w.svcSortedActive(id, s); len(custs) > 0 {
+			cust := custs[int(key/2)%len(custs)]
+			host.Chain = w.cfCustomerCert(uint64(cust), s)
+			return
+		}
+	}
+	if st.nullCertOnNetFrac > 0 && float64(key%1000)/1000 < st.nullCertOnNetFrac {
+		host.Chain = nil // answers TLS only for first-party SNI
+		return
+	}
+	host.Chain = w.hgGroupCert(id, pickGroup(st, s, mix64(key)), s)
+}
+
+func (w *World) buildOffNet(hid hostID, s timeline.Snapshot, host *Host) {
+	id := hid.owner
+	st := strategies[id]
+	key := w.h(uint64(id), uint64(hid.as), uint64(hid.idx), hstr("offnet"))
+	g := int(key % 3) // off-nets serve the edge-delivery groups
+	if g >= st.certGroups {
+		g = 0
+	}
+	host.HTTPSHeaders = hgServerHeaders(id, key)
+	host.HTTPHeaders = host.HTTPSHeaders
+	host.Chain = w.hgGroupCert(id, g, s)
+
+	// §8 hide-and-seek countermeasures, when enabled.
+	if hide := w.cfg.Hide; hide.NullDefaultCertFrac > 0 || hide.StripOrganization || hide.AnonymizeHeaders {
+		if hide.NullDefaultCertFrac > 0 && float64(key%1000)/1000 < hide.NullDefaultCertFrac {
+			host.Chain = nil
+		}
+		if hide.StripOrganization && host.Chain != nil {
+			leaf := host.Chain.Leaf().Clone()
+			leaf.Subject.Organization = ""
+			stripped := append(certmodel.Chain{leaf}, host.Chain[1:]...)
+			host.Chain = stripped
+		}
+		if hide.AnonymizeHeaders {
+			host.HTTPSHeaders = genericHeaders(key)
+			host.HTTPHeaders = host.HTTPSHeaders
+		}
+	}
+
+	// The Netflix 2017-04 .. 2019-07 era (§6.2): most off-nets froze on
+	// an expired certificate; 26.8 % stopped answering HTTPS altogether
+	// and served plain HTTP instead.
+	if st.netflixExpiredEra && s >= 14 && s <= 23 {
+		switch x := key % 1000; {
+		case x < 600:
+			host.Chain = w.expiredNetflixCert(g)
+		case x < 868:
+			host.HTTPSUp = false
+			host.Chain = nil
+			host.HTTPHeaders = nginxHeaders(key)
+		}
+	}
+}
+
+func (w *World) buildService(hid hostID, s timeline.Snapshot, host *Host) {
+	id := hid.owner
+	key := w.h(uint64(id), uint64(hid.as), uint64(hid.idx), hstr("service"))
+	if strategies[id].cloudflareIssuer {
+		// A Cloudflare customer's origin server.
+		host.Chain = w.cfCustomerCert(uint64(hid.as), s)
+		if w.cfCustomerKindOf(uint64(hid.as)) == cfEnterprise {
+			// Enterprise origins run Cloudflare's tunnel daemon, whose
+			// responses look like Cloudflare itself.
+			host.HTTPSHeaders = hgServerHeaders(hg.Cloudflare, key)
+		} else {
+			host.HTTPSHeaders = genericHeaders(key)
+		}
+		host.HTTPHeaders = host.HTTPSHeaders
+		return
+	}
+	st := strategies[id]
+	g := int(key % 3)
+	if g >= st.certGroups {
+		g = 0
+	}
+	host.Chain = w.hgGroupCert(id, g, s)
+	if hid.via != hg.None {
+		// Third-party CDN hardware: the edge CDN's headers dominate.
+		host.HTTPSHeaders = hgServerHeaders(hid.via, key)
+		// On a cache miss the origin hypergiant's own headers ride along
+		// with the edge's — the §7 reverse-proxy conflict the pipeline
+		// resolves by prioritising the edge CDN. The paper observes this
+		// on Akamai and Cloudflare edges (99% of conflict cases).
+		if hid.via == hg.Akamai && key%5 < 2 {
+			for _, oh := range hgServerHeaders(id, mix64(key)) {
+				if hg.Get(id).MatchesHeaders([]hg.Header{oh}) {
+					host.HTTPSHeaders = append(host.HTTPSHeaders, oh)
+				}
+			}
+		}
+	} else {
+		// Management interface / cloud front-end: generic software.
+		host.HTTPSHeaders = genericHeaders(key)
+	}
+	host.HTTPHeaders = host.HTTPSHeaders
+}
+
+func (w *World) buildBackground(hid hostID, s timeline.Snapshot, host *Host) {
+	key := w.h(uint64(hid.as), uint64(hid.idx), hstr("bg-host"))
+	host.Chain = w.backgroundCert(key, hid.class, s)
+	host.HTTPSHeaders = genericHeaders(key)
+	host.HTTPUp = key%10 < 7
+	if host.HTTPUp {
+		host.HTTPHeaders = host.HTTPSHeaders
+	}
+}
+
+// --- public surface ---
+
+// HostAt returns the observable state of the host at ip during s, if one
+// answers there.
+func (w *World) HostAt(ip netmodel.IP, s timeline.Snapshot) (Host, bool) {
+	hid, ok := w.resolve(ip, s)
+	if !ok {
+		return Host{}, false
+	}
+	var host Host
+	w.build(hid, s, &host)
+	return host, true
+}
+
+// Hosts enumerates every responsive host at snapshot s in deterministic
+// order. The *Host passed to yield is reused between calls; copy it if
+// it must outlive the callback. Enumeration stops early when yield
+// returns false.
+func (w *World) Hosts(s timeline.Snapshot, yield func(*Host) bool) {
+	var host Host
+	emit := func(hid hostID) bool {
+		w.build(hid, s, &host)
+		return yield(&host)
+	}
+	// On-nets.
+	for _, h := range hg.All() {
+		for asIdx, as := range w.onNet[h.ID] {
+			share := w.onNetShare(h.ID, asIdx, s)
+			for i := 0; i < share; i++ {
+				hid := hostID{kind: kindOnNet, owner: h.ID, as: as, idx: i, ip: w.onNetIP(h.ID, asIdx, i)}
+				if !emit(hid) {
+					return
+				}
+			}
+		}
+	}
+	// Off-nets and service-present hosts.
+	for _, h := range hg.All() {
+		for _, as := range w.depSorted(h.ID) {
+			if !w.deployments[h.ID][as].active(s) || w.IPv6Only(as) {
+				continue
+			}
+			n := w.offNetIPCount(h.ID, as)
+			for i := 0; i < n; i++ {
+				hid := hostID{kind: kindOffNet, owner: h.ID, as: as, idx: i, ip: w.offNetIP(as, h.ID, i)}
+				if !emit(hid) {
+					return
+				}
+			}
+		}
+		for _, as := range w.svcSorted(h.ID) {
+			info := w.service[h.ID][as]
+			if !info.active(s) || w.IPv6Only(as) {
+				continue
+			}
+			n := w.serviceIPCount(h.ID, as)
+			for i := 0; i < n; i++ {
+				hid := hostID{kind: kindService, owner: h.ID, via: info.via, as: as, idx: i, ip: w.serviceIP(as, h.ID, i)}
+				if !emit(hid) {
+					return
+				}
+			}
+		}
+	}
+	// Background hosts.
+	for i := 1; i <= w.graph.NumASes(); i++ {
+		as := astopo.ASN(i)
+		if w.IPv6Only(as) {
+			continue
+		}
+		n := w.backgroundCount(as, s)
+		for seq := 0; seq < n; seq++ {
+			key := w.h(uint64(as), uint64(seq), hstr("bg-host"))
+			hid := hostID{kind: kindBackground, as: as, idx: seq, class: bgClass(key), ip: w.backgroundIP(as, seq)}
+			if !emit(hid) {
+				return
+			}
+		}
+	}
+}
+
+// depSorted returns the all-time off-net hosting ASes of id, sorted.
+func (w *World) depSorted(id hg.ID) []astopo.ASN {
+	out := make([]astopo.ASN, 0, len(w.deployments[id]))
+	for as := range w.deployments[id] {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (w *World) svcSorted(id hg.ID) []astopo.ASN {
+	out := make([]astopo.ASN, 0, len(w.service[id]))
+	for as := range w.service[id] {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (w *World) svcSortedActive(id hg.ID, s timeline.Snapshot) []astopo.ASN {
+	var out []astopo.ASN
+	for _, as := range w.svcSorted(id) {
+		if w.service[id][as].active(s) {
+			out = append(out, as)
+		}
+	}
+	return out
+}
+
+// --- targeted probing (the ZGrab2-style path) ---
+
+// ProbeResult is the outcome of a TLS probe with an explicit SNI/Host.
+type ProbeResult struct {
+	Reachable bool
+	// ServesDomain reports whether the server presented a certificate
+	// valid for the requested domain (TLS validation succeeded).
+	ServesDomain bool
+	Chain        certmodel.Chain
+	Headers      []hg.Header
+}
+
+// akamaiNonHGCustomers are content companies outside the study's HG list
+// whose sites Akamai hardware serves — the LinkedIn/KDDI cases that
+// surprised the paper's cross-validation (§5).
+var akamaiNonHGCustomers = []string{"*.linkedin.com", "*.kddi.com"}
+
+// cdnCustomers returns the hypergiants whose content rides on cdn's
+// hardware.
+func cdnCustomers(cdn hg.ID) []hg.ID {
+	var out []hg.ID
+	for _, h := range hg.All() {
+		for _, v := range strategies[h.ID].usesThirdPartyCDN {
+			if v == cdn {
+				out = append(out, h.ID)
+			}
+		}
+	}
+	if cdn == hg.Akamai {
+		out = append(out, hg.Disney, hg.Microsoft)
+	}
+	return out
+}
+
+// Probe performs a simulated TLS+HTTP request to ip with SNI domain at
+// snapshot s.
+func (w *World) Probe(ip netmodel.IP, domain string, s timeline.Snapshot) ProbeResult {
+	hid, ok := w.resolve(ip, s)
+	if !ok {
+		return ProbeResult{}
+	}
+	var host Host
+	w.build(hid, s, &host)
+	res := ProbeResult{Reachable: true, Chain: host.Chain, Headers: host.HTTPSHeaders}
+
+	// Which hypergiants' content does this server hold?
+	var serving []hg.ID
+	switch hid.kind {
+	case kindOnNet, kindOffNet:
+		serving = append(serving, hid.owner)
+		serving = append(serving, cdnCustomers(hid.owner)...)
+	case kindService:
+		serving = append(serving, hid.owner)
+		if hid.via != hg.None {
+			serving = append(serving, hid.via)
+			serving = append(serving, cdnCustomers(hid.via)...)
+		}
+	}
+	for _, id := range serving {
+		for _, pat := range hg.Get(id).Domains {
+			if hg.MatchDomain(pat, domain) {
+				res.ServesDomain = true
+				res.Chain = w.hgGroupCert(id, domainGroup(hg.Get(id), pat), s)
+				return res
+			}
+		}
+	}
+	// Akamai's non-hypergiant customers.
+	carriesAkamai := (hid.kind == kindOnNet || hid.kind == kindOffNet) && hid.owner == hg.Akamai ||
+		hid.kind == kindService && hid.via == hg.Akamai
+	if carriesAkamai {
+		for _, pat := range akamaiNonHGCustomers {
+			if hg.MatchDomain(pat, domain) {
+				res.ServesDomain = true
+				nb, na, period := certWindow(365, s.MidTime())
+				key := w.h(hstr(pat), period)
+				res.Chain = w.mintChain(key, customerOrg(pat), pat, []string{pat}, nb, na, mintTrusted)
+				return res
+			}
+		}
+	}
+	// Background and Cloudflare-customer hosts serve their own cert's
+	// names.
+	for _, pat := range host.Chain.LeafDNSNames() {
+		if hg.MatchDomain(pat, domain) {
+			res.ServesDomain = true
+			return res
+		}
+	}
+	return res
+}
+
+// domainGroup finds a certificate group of h that covers pattern.
+func domainGroup(h *hg.Hypergiant, pattern string) int {
+	st := strategies[h.ID]
+	for g := 0; g < st.certGroups; g++ {
+		for _, d := range groupDomains(h, g) {
+			if d == pattern {
+				return g
+			}
+		}
+	}
+	return 0
+}
+
+func customerOrg(pattern string) string {
+	switch pattern {
+	case "*.linkedin.com":
+		return "LinkedIn Corporation"
+	case "*.kddi.com":
+		return "KDDI CORPORATION"
+	default:
+		return fmt.Sprintf("Customer of Akamai (%s)", pattern)
+	}
+}

@@ -1,0 +1,53 @@
+package worldsim
+
+import (
+	"fmt"
+
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// PTR returns the reverse-DNS record of ip at snapshot s, or "" when no
+// record exists. Hypergiant off-nets often carry operator-assigned
+// names that leak the tenant — the paper used Netflix's PTR records
+// ("...nflxvideo.net") to corroborate the expired-certificate-era
+// restoration (§6.2). On-net servers use the hypergiant's own naming;
+// background hosts get ISP boilerplate; a fraction of records are
+// simply missing, as in the real reverse zone.
+func (w *World) PTR(ip netmodel.IP, s timeline.Snapshot) string {
+	hid, ok := w.resolve(ip, s)
+	if !ok {
+		return ""
+	}
+	key := w.h(uint64(ip), hstr("ptr"))
+	switch hid.kind {
+	case kindOffNet:
+		switch hid.owner {
+		case hg.Netflix:
+			// Open Connect appliances: ipv4-c001.1.lax001.ix.nflxvideo.net
+			return fmt.Sprintf("ipv4-c%03d.%d.as%d.isp.nflxvideo.net", hid.idx+1, key%4+1, hid.as)
+		case hg.Google:
+			return fmt.Sprintf("cache.google.com.as%d.example", hid.as)
+		case hg.Facebook:
+			return fmt.Sprintf("fna%d.as%d.fbcdn.net", hid.idx+1, hid.as)
+		case hg.Akamai:
+			return fmt.Sprintf("a%d.deploy.static.akamaitechnologies.com", key%100000)
+		default:
+			if key%3 == 0 {
+				return "" // many operators never name tenant gear
+			}
+			return fmt.Sprintf("cdn%d.as%d.example", hid.idx+1, hid.as)
+		}
+	case kindOnNet:
+		h := hg.Get(hid.owner)
+		return fmt.Sprintf("edge-%04d.%s", key%10000, hg.ConcreteDomain(h.Domains[0]))
+	case kindService:
+		return "" // management interfaces and origins are rarely named
+	default:
+		if key%4 == 0 {
+			return ""
+		}
+		return fmt.Sprintf("host-%d-%d.as%d.example", key%256, key/256%256, hid.as)
+	}
+}
