@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short race bench experiments corpus clean
+.PHONY: all ci build vet test test-short race bench experiments corpus serve clean
 
 all: build vet test
+
+# The full pre-merge gate.
+ci: build vet test-short race
 
 build:
 	go build ./...
@@ -17,7 +20,7 @@ test-short:
 	go test -short ./...
 
 race:
-	go test -race ./internal/probe/ ./internal/servefarm/ ./internal/corpus/ ./internal/certmodel/
+	go test -race -short ./...
 
 bench:
 	go test -bench=. -benchmem .
@@ -30,6 +33,13 @@ experiments:
 # Produce an on-disk corpus with the public-dataset stand-ins.
 corpus:
 	go run ./cmd/worldgen -out ./data -scale 0.05 -datasets
+
+# End-to-end serving demo: generate a small world, freeze its inferred
+# footprints into a store, and serve them on localhost:8097.
+serve:
+	go run ./cmd/worldgen -out ./data -scale 0.05
+	go run ./cmd/offnetmap -corpus ./data -growth -store ./data/offnets.fst
+	go run ./cmd/offnetd -store ./data/offnets.fst
 
 clean:
 	rm -rf ./data

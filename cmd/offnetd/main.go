@@ -1,0 +1,89 @@
+// Command offnetd serves a footprint store over HTTP/JSON — the
+// consumer side of the worldgen → offnetmap → offnetd flow. It loads
+// an immutable store produced by `offnetmap -store`, then answers
+// lookup queries from any number of concurrent clients:
+//
+//	GET /v1/snapshots                         the study window in the store
+//	GET /v1/ip/{ip}                           who serves from this address, since when
+//	GET /v1/as/{asn}                          a network's hypergiant tenants over time
+//	GET /v1/hg/{id}/footprint?snapshot=YYYY-MM   one hypergiant's off-net AS set
+//	GET /debug/vars                           request counters + latency histograms (expvar)
+//
+// Usage:
+//
+//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"offnetscope/internal/footstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("offnetd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("offnetd", flag.ContinueOnError)
+	storePath := fs.String("store", "", "footstore file written by offnetmap -store (required)")
+	addr := fs.String("addr", "localhost:8097", "listen address")
+	workers := fs.Int("workers", 256, "max concurrently served requests")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storePath == "" {
+		fs.Usage()
+		return fmt.Errorf("-store is required")
+	}
+
+	st, err := footstore.Open(*storePath)
+	if err != nil {
+		return err
+	}
+	stats := st.Stats()
+	fmt.Fprintf(stdout, "loaded %s: %d snapshots (latest %s), %d hypergiants, %d spans, %d prefixes\n",
+		*storePath, stats.Snapshots, st.Latest().Label(), stats.Hypergiants, stats.Spans, stats.Prefixes)
+
+	srv := &http.Server{
+		Handler:           http.TimeoutHandler(newServer(st, *workers), *timeout, `{"error":"request timed out"}`),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving on http://%s (workers=%d timeout=%s)\n", ln.Addr(), *workers, *timeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

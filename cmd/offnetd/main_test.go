@@ -1,0 +1,323 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/core"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+// testStore hand-builds a tiny store: Google in AS100 (2020-10 on) and
+// AS200 (all three snapshots), Netflix in AS200 at the last snapshot,
+// one /16 and a more-specific /24.
+func testStore(t testing.TB) *footstore.Store {
+	t.Helper()
+	s1, _ := timeline.FromLabel("2020-10")
+	s2, _ := timeline.FromLabel("2021-01")
+	s3, _ := timeline.FromLabel("2021-04")
+	b := footstore.NewBuilder()
+	for _, step := range []struct {
+		s  timeline.Snapshot
+		fp map[hg.ID][]astopo.ASN
+	}{
+		{s1, map[hg.ID][]astopo.ASN{hg.Google: {100, 200}}},
+		{s2, map[hg.ID][]astopo.ASN{hg.Google: {200}}},
+		{s3, map[hg.ID][]astopo.ASN{hg.Google: {100, 200}, hg.Netflix: {200}}},
+	} {
+		if err := b.AddSnapshot(step.s, step.fp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.AddPrefix(netmodel.MustParsePrefix("10.1.0.0/16"), []astopo.ASN{100})
+	b.AddPrefix(netmodel.MustParsePrefix("10.1.2.0/24"), []astopo.ASN{200})
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, handler http.Handler, url string, wantCode int) map[string]any {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("GET %s = %d, want %d: %s", url, rec.Code, wantCode, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return out
+}
+
+func hostingHGs(v map[string]any) []string {
+	var out []string
+	hostings, _ := v["hostings"].([]any)
+	for _, h := range hostings {
+		m := h.(map[string]any)
+		out = append(out, m["hg"].(string))
+	}
+	return out
+}
+
+func TestEndpoints(t *testing.T) {
+	h := newServer(testStore(t), 8)
+
+	snaps := getJSON(t, h, "/v1/snapshots", 200)
+	if snaps["latest"] != "2021-04" {
+		t.Errorf("latest = %v", snaps["latest"])
+	}
+	if got := snaps["snapshots"].([]any); len(got) != 3 || got[0] != "2020-10" {
+		t.Errorf("snapshots = %v", got)
+	}
+
+	// IP inside the /24: AS200, hosted by Google and Netflix.
+	ip := getJSON(t, h, "/v1/ip/10.1.2.3", 200)
+	if ip["mapped"] != true || ip["prefix"] != "10.1.2.0/24" {
+		t.Errorf("ip response = %v", ip)
+	}
+	// Google's AS200 run spans all three snapshots, Netflix's one.
+	if got := hostingHGs(ip); len(got) != 2 || got[0] != "Google" || got[1] != "Netflix" {
+		t.Errorf("hostings = %v", got)
+	}
+	// IP inside the /16 but outside the /24: AS100, Google only, and
+	// its run is split (2020-10, then 2021-04).
+	ip = getJSON(t, h, "/v1/ip/10.1.99.1", 200)
+	if got := hostingHGs(ip); len(got) != 2 || got[0] != "Google" || got[1] != "Google" {
+		t.Errorf("AS100 hostings = %v", got)
+	}
+	unmapped := getJSON(t, h, "/v1/ip/192.0.2.1", 200)
+	if unmapped["mapped"] != false || len(unmapped["hostings"].([]any)) != 0 {
+		t.Errorf("unmapped ip response = %v", unmapped)
+	}
+	getJSON(t, h, "/v1/ip/not-an-ip", 400)
+
+	as := getJSON(t, h, "/v1/as/200", 200)
+	hgs := hostingHGs(as)
+	if len(hgs) != 2 || hgs[0] != "Google" || hgs[1] != "Netflix" {
+		t.Errorf("as/200 hostings = %v", hgs)
+	}
+	if got := hostingHGs(getJSON(t, h, "/v1/as/999", 200)); len(got) != 0 {
+		t.Errorf("as/999 hostings = %v", got)
+	}
+	getJSON(t, h, "/v1/as/zero", 400)
+	getJSON(t, h, "/v1/as/0", 400)
+
+	fp := getJSON(t, h, "/v1/hg/google/footprint", 200)
+	if fp["snapshot"] != "2021-04" || fp["count"] != float64(2) {
+		t.Errorf("footprint = %v", fp)
+	}
+	fp = getJSON(t, h, "/v1/hg/Google/footprint?snapshot=2021-01", 200)
+	if fp["count"] != float64(1) {
+		t.Errorf("footprint at 2021-01 = %v", fp)
+	}
+	// Numeric ID works too.
+	fp = getJSON(t, h, fmt.Sprintf("/v1/hg/%d/footprint", int(hg.Netflix)), 200)
+	if fp["hg"] != "Netflix" || fp["count"] != float64(1) {
+		t.Errorf("numeric-id footprint = %v", fp)
+	}
+	// Present-window but absent snapshot, bad label, unknown HG.
+	getJSON(t, h, "/v1/hg/google/footprint?snapshot=2014-01", 404)
+	getJSON(t, h, "/v1/hg/google/footprint?snapshot=never", 400)
+	getJSON(t, h, "/v1/hg/nosuchhg/footprint", 404)
+
+	// Metrics surface: the handlers above must have been counted.
+	req := httptest.NewRequest("GET", "/debug/vars", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/debug/vars = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"offnetd.requests", "offnetd.latency", "offnetd.store", `"footprint"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/vars missing %s", want)
+		}
+	}
+}
+
+// TestConcurrentLoad floods the handler with 1000 in-flight requests
+// through a small worker pool; every one must complete successfully.
+// Run under -race this doubles as the lock-free-query-path check.
+func TestConcurrentLoad(t *testing.T) {
+	h := newServer(testStore(t), 16)
+	urls := []string{
+		"/v1/snapshots",
+		"/v1/ip/10.1.2.3",
+		"/v1/ip/10.1.99.1",
+		"/v1/as/200",
+		"/v1/hg/google/footprint",
+		"/v1/hg/netflix/footprint?snapshot=2021-04",
+	}
+	const clients = 1000
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := urls[i%len(urls)]
+			req := httptest.NewRequest("GET", url, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				errs <- fmt.Sprintf("%s -> %d", url, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestEndToEndAgainstGroundTruth runs the whole flow in-process: world
+// → scan → §4 pipeline → store → daemon, then checks the served
+// answers against the simulator's ground truth for Google.
+func TestEndToEndAgainstGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	world, err := worldsim.New(worldsim.Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := timeline.Snapshot(timeline.Count() - 1)
+	snap := scanners.Scan(world, scanners.Rapid7Profile(), s)
+	pipeline := &core.Pipeline{
+		Trust:  world.TrustStore(),
+		Orgs:   world.Orgs(),
+		Mapper: func(s timeline.Snapshot) core.IPMapper { return world.IP2AS(s) },
+		Opts:   core.DefaultOptions(),
+	}
+	res := pipeline.Run(snap)
+	st, err := footstore.FromResult(res, world.IP2AS(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(st, 64))
+	defer srv.Close()
+
+	get := func(path string, wantCode int) map[string]any {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// /v1/snapshots carries the scanned month.
+	if got := get("/v1/snapshots", 200); got["latest"] != s.Label() {
+		t.Errorf("latest = %v, want %s", got["latest"], s.Label())
+	}
+
+	// /v1/hg footprint equals the pipeline's confirmed set and covers
+	// most of the ground truth (the paper reports ~90 % recall).
+	inferred := res.PerHG[hg.Google].ConfirmedASes
+	fp := get("/v1/hg/google/footprint?snapshot="+s.Label(), 200)
+	if fp["count"] != float64(len(inferred)) {
+		t.Errorf("served footprint count %v, pipeline %d", fp["count"], len(inferred))
+	}
+	served := make(map[astopo.ASN]bool)
+	for _, v := range fp["ases"].([]any) {
+		served[astopo.ASN(v.(float64))] = true
+	}
+	truth := world.TrueOffNetASes(hg.Google, s)
+	hits := 0
+	for _, as := range truth {
+		if served[as] {
+			hits++
+		}
+	}
+	if len(truth) == 0 || hits*2 < len(truth) {
+		t.Errorf("served footprint covers %d/%d true off-net ASes", hits, len(truth))
+	}
+
+	// /v1/ip and /v1/as for a confirmed off-net IP must name Google.
+	ips := res.PerHG[hg.Google].ConfirmedIPList
+	if len(ips) == 0 {
+		t.Fatal("pipeline confirmed no Google IPs")
+	}
+	ipResp := get("/v1/ip/"+ips[0].String(), 200)
+	if ipResp["mapped"] != true {
+		t.Fatalf("confirmed IP unmapped: %v", ipResp)
+	}
+	found := false
+	for _, name := range hostingHGs(ipResp) {
+		if name == "Google" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/v1/ip/%s does not name Google: %v", ips[0], ipResp)
+	}
+	as, ok := world.IP2AS(s).LookupOne(ips[0])
+	if !ok {
+		t.Fatal("ground-truth mapper cannot resolve confirmed IP")
+	}
+	found = false
+	for _, name := range hostingHGs(get(fmt.Sprintf("/v1/as/%d", as), 200)) {
+		if name == "Google" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/v1/as/%d does not name Google", as)
+	}
+}
+
+// TestRunLifecycle exercises the daemon entrypoint: load a store file,
+// bind an ephemeral port, shut down cleanly on context cancellation.
+func TestRunLifecycle(t *testing.T) {
+	path := t.TempDir() + "/store.fst"
+	if err := testStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	var out strings.Builder
+	if err := run(ctx, []string{"-store", path, "-addr", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"loaded", "serving on", "shutting down"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if err := run(context.Background(), nil, &out); err == nil {
+		t.Error("missing -store should fail")
+	}
+	if err := run(context.Background(), []string{"-store", path + ".missing"}, &out); err == nil {
+		t.Error("missing store file should fail")
+	}
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// server binds the immutable footprint store to the HTTP surface. The
+// store itself is lock-free; the only shared mutable state is the
+// atomic metrics and the worker semaphore, so any number of requests
+// can run concurrently.
+type server struct {
+	store   *footstore.Store
+	sem     chan struct{} // bounded worker pool: one token per in-flight request
+	metrics *metrics
+}
+
+// endpoint names, used as metric keys.
+var endpoints = []string{"snapshots", "ip", "as", "footprint"}
+
+// newServer builds the daemon's handler. workers caps the number of
+// concurrently served requests; excess requests queue until a worker
+// frees up or their context is cancelled.
+func newServer(st *footstore.Store, workers int) http.Handler {
+	if workers <= 0 {
+		workers = 256
+	}
+	s := &server{store: st, sem: make(chan struct{}, workers), metrics: newMetrics()}
+	publishMetrics(s.metrics, st)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/snapshots", s.wrap("snapshots", s.handleSnapshots))
+	mux.HandleFunc("GET /v1/ip/{ip}", s.wrap("ip", s.handleIP))
+	mux.HandleFunc("GET /v1/as/{asn}", s.wrap("as", s.handleAS))
+	mux.HandleFunc("GET /v1/hg/{id}/footprint", s.wrap("footprint", s.handleFootprint))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// wrap applies the worker bound and records per-endpoint request
+// counts and latency.
+func (s *server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			s.metrics.requests.Add("rejected", 1)
+			writeError(w, http.StatusServiceUnavailable, "server saturated")
+			return
+		}
+		start := time.Now()
+		h(w, r)
+		s.metrics.requests.Add(name, 1)
+		s.metrics.latency[name].observe(time.Since(start))
+	}
+}
+
+// hostingJSON is the wire form of one hypergiant presence run.
+type hostingJSON struct {
+	HG      string     `json:"hg"`
+	AS      astopo.ASN `json:"as"`
+	First   string     `json:"first"`
+	Last    string     `json:"last"`
+	Current bool       `json:"current"` // still present at the store's latest snapshot
+}
+
+func (s *server) hostingsJSON(as astopo.ASN) []hostingJSON {
+	latest := s.store.Latest()
+	out := []hostingJSON{}
+	for _, h := range s.store.HostingsOf(as) {
+		out = append(out, hostingJSON{
+			HG:      h.HG.String(),
+			AS:      h.AS,
+			First:   h.First.Label(),
+			Last:    h.Last.Label(),
+			Current: h.Last == latest,
+		})
+	}
+	return out
+}
+
+// handleSnapshots answers GET /v1/snapshots.
+func (s *server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	snaps := s.store.Snapshots()
+	labels := make([]string, len(snaps))
+	for i, sn := range snaps {
+		labels[i] = sn.Label()
+	}
+	hgs := []string{}
+	for _, id := range s.store.Hypergiants() {
+		hgs = append(hgs, id.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshots":   labels,
+		"latest":      s.store.Latest().Label(),
+		"hypergiants": hgs,
+	})
+}
+
+// handleIP answers GET /v1/ip/{ip}: which hypergiants serve from this
+// address's network, and since when.
+func (s *server) handleIP(w http.ResponseWriter, r *http.Request) {
+	ip, err := netmodel.ParseIP(r.PathValue("ip"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	prefix, origins, ok := s.store.LookupIP(ip)
+	resp := map[string]any{"ip": ip.String(), "mapped": ok}
+	hostings := []hostingJSON{}
+	if ok {
+		resp["prefix"] = prefix.String()
+		resp["asns"] = origins
+		for _, as := range origins {
+			hostings = append(hostings, s.hostingsJSON(as)...)
+		}
+	}
+	resp["hostings"] = hostings
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAS answers GET /v1/as/{asn}: the AS's hypergiant tenants over
+// the whole study window.
+func (s *server) handleAS(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.ParseUint(r.PathValue("asn"), 10, 32)
+	if err != nil || n == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid ASN %q", r.PathValue("asn")))
+		return
+	}
+	as := astopo.ASN(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"asn":      as,
+		"hostings": s.hostingsJSON(as),
+	})
+}
+
+// handleFootprint answers GET /v1/hg/{id}/footprint?snapshot=YYYY-MM
+// (default: the latest snapshot in the store).
+func (s *server) handleFootprint(w http.ResponseWriter, r *http.Request) {
+	h, ok := parseHG(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown hypergiant %q", r.PathValue("id")))
+		return
+	}
+	snap := s.store.Latest()
+	if label := r.URL.Query().Get("snapshot"); label != "" {
+		snap, ok = timeline.FromLabel(label)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid snapshot %q (want YYYY-MM on the quarterly grid)", label))
+			return
+		}
+	}
+	ases, ok := s.store.Footprint(h.ID, snap)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("snapshot %s not in store", snap.Label()))
+		return
+	}
+	if ases == nil {
+		ases = []astopo.ASN{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hg":       h.Name,
+		"snapshot": snap.Label(),
+		"count":    len(ases),
+		"ases":     ases,
+	})
+}
+
+// parseHG accepts a hypergiant display name (case-insensitive) or a
+// numeric registry ID.
+func parseHG(s string) (*hg.Hypergiant, bool) {
+	if h, ok := hg.ByName(s); ok {
+		return h, true
+	}
+	if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= hg.Count {
+		return hg.Get(hg.ID(n)), true
+	}
+	return nil, false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// metrics holds per-endpoint request counters and latency histograms,
+// all atomic — the handlers never take a lock.
+type metrics struct {
+	requests *expvar.Map
+	latency  map[string]*latencyHist // fixed key set, read-only after construction
+}
+
+func newMetrics() *metrics {
+	m := &metrics{requests: new(expvar.Map).Init(), latency: make(map[string]*latencyHist, len(endpoints))}
+	for _, name := range endpoints {
+		m.latency[name] = &latencyHist{}
+	}
+	return m
+}
+
+// latencyBounds are the histogram bucket upper bounds; the final
+// bucket is unbounded.
+var latencyBounds = []time.Duration{
+	100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	100 * time.Millisecond, time.Second,
+}
+
+// latencyHist is a fixed-bucket latency histogram on atomics.
+type latencyHist struct {
+	count   atomic.Uint64
+	sumNano atomic.Uint64
+	buckets [6]atomic.Uint64 // len(latencyBounds)+1
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNano.Add(uint64(d))
+	for i, bound := range latencyBounds {
+		if d <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(latencyBounds)].Add(1)
+}
+
+// snapshot renders the histogram for /debug/vars.
+func (h *latencyHist) snapshot() map[string]any {
+	buckets := map[string]uint64{}
+	for i, bound := range latencyBounds {
+		buckets["le_"+bound.String()] = h.buckets[i].Load()
+	}
+	buckets["inf"] = h.buckets[len(latencyBounds)].Load()
+	count := h.count.Load()
+	out := map[string]any{"count": count, "buckets": buckets}
+	if count > 0 {
+		out["mean"] = time.Duration(h.sumNano.Load() / count).String()
+	}
+	return out
+}
+
+// publishMetrics exposes the first server's metrics under /debug/vars.
+// expvar's registry is global and rejects duplicate names, so later
+// servers in the same process (tests) keep private metrics.
+var publishOnce sync.Once
+
+func publishMetrics(m *metrics, st *footstore.Store) {
+	publishOnce.Do(func() {
+		expvar.Publish("offnetd.requests", m.requests)
+		expvar.Publish("offnetd.latency", expvar.Func(func() any {
+			out := map[string]any{}
+			names := append([]string(nil), endpoints...)
+			sort.Strings(names)
+			for _, name := range names {
+				out[name] = m.latency[name].snapshot()
+			}
+			return out
+		}))
+		expvar.Publish("offnetd.store", expvar.Func(func() any { return st.Stats() }))
+	})
+}

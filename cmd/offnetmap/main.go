@@ -6,6 +6,7 @@
 //
 //	offnetmap -corpus ./data [-vendor rapid7] [-snapshot 2021-04] [-certs-only] [-list google]
 //	offnetmap -corpus ./data -growth            # Fig-3-style series from disk
+//	offnetmap -corpus ./data -growth -store out.fst   # also freeze a queryable store for offnetd
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"offnetscope/internal/bgpsim"
 	"offnetscope/internal/core"
 	"offnetscope/internal/corpus"
+	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/timeline"
 	"offnetscope/internal/worldsim"
@@ -44,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 	certsOnly := fs.Bool("certs-only", false, "skip header confirmation (§4.3 output)")
 	list := fs.String("list", "", "also list the hosting ASes of this hypergiant")
 	growth := fs.Bool("growth", false, "run every snapshot on disk and print growth series")
+	storePath := fs.String("store", "", "freeze the inferred footprints into a footstore file (serve it with offnetd)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,7 +61,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *growth {
-		return runGrowth(stdout, pipeline, *dir, corpus.Vendor(*vendor))
+		sr, err := runGrowth(stdout, pipeline, *dir, corpus.Vendor(*vendor))
+		if err != nil {
+			return err
+		}
+		if *storePath != "" {
+			snaps := sr.Snapshots()
+			if len(snaps) == 0 {
+				return fmt.Errorf("no snapshots on disk, nothing to store")
+			}
+			st, err := footstore.FromStudy(sr, prefixSource(pipeline, snaps[len(snaps)-1]))
+			if err != nil {
+				return err
+			}
+			return saveStore(stdout, st, *storePath)
+		}
+		return nil
 	}
 
 	s, ok := timeline.FromLabel(*snapLabel)
@@ -71,6 +89,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	res := pipeline.Run(snap)
 	printSnapshot(stdout, res, *vendor, s)
+	if *storePath != "" {
+		st, err := footstore.FromResult(res, prefixSource(pipeline, s))
+		if err != nil {
+			return err
+		}
+		if err := saveStore(stdout, st, *storePath); err != nil {
+			return err
+		}
+	}
 
 	if *list != "" {
 		h, ok := hg.ByName(strings.TrimSpace(*list))
@@ -184,8 +211,26 @@ func printSnapshot(stdout io.Writer, res *core.Result, vendor string, s timeline
 	}
 }
 
+// prefixSource exposes the snapshot's IP-to-AS table for the store's
+// IP-granularity queries; both mapper implementations are tries with a
+// Walk method.
+func prefixSource(p *core.Pipeline, s timeline.Snapshot) footstore.PrefixSource {
+	src, _ := p.Mapper(s).(footstore.PrefixSource)
+	return src
+}
+
+func saveStore(stdout io.Writer, st *footstore.Store, path string) error {
+	if err := st.Save(path); err != nil {
+		return err
+	}
+	stats := st.Stats()
+	fmt.Fprintf(stdout, "wrote store %s: %d snapshots, %d hypergiants, %d spans, %d prefixes\n",
+		path, stats.Snapshots, stats.Hypergiants, stats.Spans, stats.Prefixes)
+	return nil
+}
+
 // runGrowth replays the whole on-disk corpus through the study runner.
-func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor) error {
+func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor) (*core.StudyResult, error) {
 	sr := pipeline.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
 		snap, err := corpus.Read(dir, vendor, s)
 		if err != nil {
@@ -206,5 +251,5 @@ func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor cor
 			s.Label(), g[s], f[s], a[s],
 			sr.NetflixInitial[s], sr.NetflixWithExpired[s], sr.NetflixNonTLS[s])
 	}
-	return nil
+	return sr, nil
 }

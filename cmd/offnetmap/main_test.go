@@ -3,8 +3,13 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
 )
 
 // TestWorldgenOffnetmapRoundTrip drives the two CLIs end to end: generate
@@ -78,6 +83,60 @@ func worldgenEquivalent(dir string) error {
 		return err
 	}
 	return writeSnapshots(dir, 11, 0.02)
+}
+
+// TestOffnetmapStoreFlag drives the producer side of the serving path:
+// -store freezes the inferred footprints into a footstore file that
+// re-opens with the same content, in both growth and single-snapshot
+// modes.
+func TestOffnetmapStoreFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a corpus on disk")
+	}
+	dir := t.TempDir()
+	if err := worldgenEquivalent(dir); err != nil {
+		t.Fatal(err)
+	}
+	last, _ := timeline.FromLabel("2021-04")
+
+	growthPath := filepath.Join(dir, "growth.fst")
+	var out strings.Builder
+	if err := run([]string{"-corpus", dir, "-growth", "-store", growthPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote store") {
+		t.Errorf("missing store confirmation:\n%s", out.String())
+	}
+	st, err := footstore.Open(growthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Latest() != last || len(st.Snapshots()) != 3 {
+		t.Errorf("growth store covers %v", st.Snapshots())
+	}
+	fp, ok := st.Footprint(hg.Google, last)
+	if !ok || len(fp) == 0 {
+		t.Fatalf("growth store has no Google footprint at %s", last)
+	}
+	if st.Stats().Prefixes == 0 {
+		t.Error("store is missing the IP-to-AS prefix table")
+	}
+
+	// The single-snapshot store must agree with the growth store at the
+	// shared snapshot.
+	singlePath := filepath.Join(dir, "single.fst")
+	out.Reset()
+	if err := run([]string{"-corpus", dir, "-snapshot", "2021-04", "-store", singlePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	single, err := footstore.Open(singlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfp, ok := single.Footprint(hg.Google, last)
+	if !ok || !reflect.DeepEqual(fp, sfp) {
+		t.Errorf("single-snapshot footprint diverges: %v vs %v", sfp, fp)
+	}
 }
 
 // TestOffnetmapWithDatasetFiles exercises the on-disk dataset path: the

@@ -1,0 +1,62 @@
+// Serve: build a footprint store entirely in memory and query it
+// programmatically — the library side of what cmd/offnetd exposes over
+// HTTP. No network, no files: world → scan → pipeline → footstore.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offnetscope/internal/core"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+	"offnetscope/internal/worldsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A tiny deterministic world, scanned at the final snapshot.
+	world, err := worldsim.New(worldsim.Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := timeline.Snapshot(timeline.Count() - 1) // 2021-04
+	snap := scanners.Scan(world, scanners.Rapid7Profile(), s)
+
+	// 2. The §4 inference pipeline turns the scan into footprints.
+	pipeline := &core.Pipeline{
+		Trust:  world.TrustStore(),
+		Orgs:   world.Orgs(),
+		Mapper: func(s timeline.Snapshot) core.IPMapper { return world.IP2AS(s) },
+		Opts:   core.DefaultOptions(),
+	}
+	res := pipeline.Run(snap)
+
+	// 3. Freeze the result into an immutable store. The IP2AS table
+	//    rides along so single-address queries resolve through LPM.
+	store, err := footstore.FromResult(res, world.IP2AS(s))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := store.Stats()
+	fmt.Printf("store: %d snapshot(s), %d hypergiants, %d spans, %d prefixes\n",
+		stats.Snapshots, stats.Hypergiants, stats.Spans, stats.Prefixes)
+
+	// 4. Query it — the same lookups offnetd serves as /v1/* endpoints.
+	fp, _ := store.Footprint(hg.Google, s)
+	fmt.Printf("Google serves from %d ASes at %s\n", len(fp), s.Label())
+
+	if len(res.PerHG[hg.Google].ConfirmedIPList) > 0 {
+		ip := res.PerHG[hg.Google].ConfirmedIPList[0]
+		prefix, origins, ok := store.LookupIP(ip)
+		if ok {
+			fmt.Printf("%s -> %s, origin AS%v\n", ip, prefix, origins)
+			for _, h := range store.HostingsOf(origins[0]) {
+				fmt.Printf("  AS%d hosts %s (%s..%s)\n", h.AS, h.HG, h.First.Label(), h.Last.Label())
+			}
+		}
+	}
+}

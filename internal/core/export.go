@@ -1,0 +1,45 @@
+package core
+
+import (
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+)
+
+// Export hooks: the serving layer (internal/footstore) consumes
+// inference output as plain per-hypergiant AS sets, decoupled from the
+// HGResult internals.
+
+// Footprints returns each hypergiant's confirmed off-net AS set,
+// sorted; hypergiants with an empty footprint are omitted.
+func (r *Result) Footprints() map[hg.ID][]astopo.ASN {
+	out := make(map[hg.ID][]astopo.ASN, len(r.PerHG))
+	for id, hr := range r.PerHG {
+		if len(hr.ConfirmedASes) == 0 {
+			continue
+		}
+		out[id] = hr.SortedConfirmedASes()
+	}
+	return out
+}
+
+// Snapshots returns the snapshots the study produced results for, in
+// order.
+func (sr *StudyResult) Snapshots() []timeline.Snapshot {
+	var out []timeline.Snapshot
+	for i, r := range sr.Results {
+		if r != nil {
+			out = append(out, timeline.Snapshot(i))
+		}
+	}
+	return out
+}
+
+// FootprintAt returns every hypergiant's confirmed off-net AS set at
+// snapshot s, or nil when the study had no data for s.
+func (sr *StudyResult) FootprintAt(s timeline.Snapshot) map[hg.ID][]astopo.ASN {
+	if !s.Valid() || int(s) >= len(sr.Results) || sr.Results[s] == nil {
+		return nil
+	}
+	return sr.Results[s].Footprints()
+}

@@ -172,6 +172,33 @@ func osMkdirAll(dir string) error                { return os.MkdirAll(dir, 0o755
 func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
 func filepathJoin(parts ...string) string        { return filepath.Join(parts...) }
 
+// TestReadTruncatedGzip guards the close-error propagation in
+// readNDJSON: a gzip stream cut mid-file (as after a partial download)
+// must fail Read loudly, never return a silently short snapshot.
+func TestReadTruncatedGzip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepathJoin(Dir(root, Rapid7, snap.Snapshot), "certs.ndjson.gz")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-stream and, separately, cut just the 8-byte CRC/size
+	// trailer (the flate payload stays intact — only the checksum
+	// machinery can notice).
+	for _, keep := range []int{len(data) / 2, len(data) - 8} {
+		if err := osWriteFile(path, data[:keep]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(root, Rapid7, snap.Snapshot); err == nil {
+			t.Errorf("truncated to %d/%d bytes: Read succeeded, want error", keep, len(data))
+		}
+	}
+}
+
 func TestReadCorruptGzip(t *testing.T) {
 	root := t.TempDir()
 	dir := Dir(root, Rapid7, 20)

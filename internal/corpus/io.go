@@ -202,17 +202,28 @@ func readHeaderFile(path string) ([]HeaderRecord, error) {
 	return out, err
 }
 
-func readNDJSON(path string, decode func(*json.Decoder) error) error {
+func readNDJSON(path string, decode func(*json.Decoder) error) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
-	defer f.Close()
+	// Close errors must not vanish: a gzip stream only proves its
+	// checksum at Close, and a failing file Close can mask a partial
+	// read on networked filesystems. Keep the first error.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("corpus: closing %s: %w", path, cerr)
+		}
+	}()
 	gz, err := gzip.NewReader(bufio.NewReaderSize(f, 1<<16))
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
-	defer gz.Close()
+	defer func() {
+		if cerr := gz.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("corpus: closing %s: %w", path, cerr)
+		}
+	}()
 	dec := json.NewDecoder(gz)
 	for {
 		if err := decode(dec); err != nil {

@@ -1,0 +1,48 @@
+package footstore
+
+import (
+	"bytes"
+	"testing"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+)
+
+// FuzzFootstoreDecode throws arbitrary bytes at the binary decoder: it
+// must reject corrupt and truncated input with an error — never a
+// panic — and anything it accepts must re-encode canonically.
+func FuzzFootstoreDecode(f *testing.F) {
+	b := NewBuilder()
+	_ = b.AddSnapshot(1, map[hg.ID][]astopo.ASN{hg.Google: {7, 9}})
+	_ = b.AddSnapshot(2, map[hg.ID][]astopo.ASN{hg.Google: {9}, hg.Akamai: {7}})
+	b.AddPrefix(netmodel.MustParsePrefix("10.0.0.0/8"), []astopo.ASN{7})
+	st, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := st.Encode()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("offnetFS"))
+	f.Add([]byte("garbage that is not a store"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		st, err := Decode(input)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: the canonical re-encoding
+		// decodes to the same bytes again.
+		enc := st.Encode()
+		st2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted input does not decode: %v", err)
+		}
+		if !bytes.Equal(enc, st2.Encode()) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package footstore
+
+import (
+	"offnetscope/internal/core"
+)
+
+// FromStudy freezes a longitudinal study result into a store: one
+// snapshot per month the study had data for, plus the supplied
+// IP-to-AS prefix table (normally the latest snapshot's table, so IP
+// queries answer with the current mapping). prefixes may be nil when
+// IP-granularity queries are not needed.
+func FromStudy(sr *core.StudyResult, prefixes PrefixSource) (*Store, error) {
+	b := NewBuilder()
+	for _, s := range sr.Snapshots() {
+		if err := b.AddSnapshot(s, sr.FootprintAt(s)); err != nil {
+			return nil, err
+		}
+	}
+	if prefixes != nil {
+		b.AddPrefixes(prefixes)
+	}
+	return b.Build()
+}
+
+// FromResult freezes a single-snapshot inference result into a store.
+func FromResult(res *core.Result, prefixes PrefixSource) (*Store, error) {
+	b := NewBuilder()
+	if err := b.AddSnapshot(res.Snapshot, res.Footprints()); err != nil {
+		return nil, err
+	}
+	if prefixes != nil {
+		b.AddPrefixes(prefixes)
+	}
+	return b.Build()
+}
