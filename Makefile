@@ -1,11 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-short race bench experiments corpus serve clean
+.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race bench experiments corpus serve clean
 
 all: build vet test
 
-# The full pre-merge gate.
-ci: build vet test-short race
+# The full pre-merge gate: build, vet, unit tests, the race detector,
+# a short fuzz pass over every decoder, and the chaos/fault-injection
+# suite under race.
+ci: build vet test-short race fuzz-smoke chaos-race
 
 build:
 	go build ./...
@@ -21,6 +23,27 @@ test-short:
 
 race:
 	go test -race -short ./...
+
+# Smoke-fuzz every input decoder (go test allows one -fuzz target per
+# invocation, hence one line per target).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test -run=^$$ -fuzz=FuzzCorpusRead -fuzztime=$(FUZZTIME) ./internal/corpus
+	go test -run=^$$ -fuzz=FuzzFootstoreDecode -fuzztime=$(FUZZTIME) ./internal/footstore
+	go test -run=^$$ -fuzz=FuzzReadRIB -fuzztime=$(FUZZTIME) ./internal/bgpsim
+	go test -run=^$$ -fuzz=FuzzReadASRel -fuzztime=$(FUZZTIME) ./internal/astopo
+	go test -run=^$$ -fuzz=FuzzReadOrgs -fuzztime=$(FUZZTIME) ./internal/astopo
+	go test -run=^$$ -fuzz=FuzzParseIP -fuzztime=$(FUZZTIME) ./internal/netmodel
+	go test -run=^$$ -fuzz=FuzzParsePrefix -fuzztime=$(FUZZTIME) ./internal/netmodel
+	go test -run=^$$ -fuzz=FuzzMatchDomain -fuzztime=$(FUZZTIME) ./internal/hg
+	go test -run=^$$ -fuzz=FuzzFromLabel -fuzztime=$(FUZZTIME) ./internal/timeline
+
+# The fault-injection suite under the race detector: corrupted-corpus
+# ingestion, hot reload under load, and the chaos reader itself.
+chaos-race:
+	go test -race ./internal/chaos ./internal/resilience
+	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe' ./internal/corpus ./cmd/offnetmap
+	go test -race -run 'TestHotReload|TestSIGHUP|TestLoadShedding|TestPanicRecovery|TestHealth' ./cmd/offnetd
 
 bench:
 	go test -bench=. -benchmem .

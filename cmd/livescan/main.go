@@ -7,6 +7,10 @@
 // Usage:
 //
 //	livescan [-concurrency 16] [-rate 200]
+//
+// SIGINT/SIGTERM cancels the scan context: in-flight probes are
+// abandoned mid-handshake, the farm shuts down, and the process exits
+// cleanly instead of leaving sockets and workers behind.
 package main
 
 import (
@@ -14,7 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"offnetscope/internal/hg"
@@ -30,31 +37,46 @@ func main() {
 	rate := flag.Int("rate", 200, "probes per second (0 = unlimited)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *concurrency, *rate); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, concurrency, rate int) error {
 	specs := demoSpecs()
 	farm, err := servefarm.Start(specs)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer farm.Close()
 	log.Printf("farm up: %d servers on loopback", len(farm.Servers))
 
 	scanner := probe.New(probe.Config{
-		Concurrency:   *concurrency,
-		RatePerSecond: *rate,
+		Concurrency:   concurrency,
+		RatePerSecond: rate,
 		Timeout:       3 * time.Second,
 		RootCAs:       farm.CA.Pool(),
 	})
 	defer scanner.Close()
-	ctx := context.Background()
 
 	// Certigo role: sweep default certificates.
 	t0 := time.Now()
 	results := scanner.FetchCerts(ctx, farm.TLSAddrs())
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("scan interrupted: %w", err)
+	}
 	log.Printf("swept %d servers in %v", len(results), time.Since(t0).Round(time.Millisecond))
 
 	for _, h := range []hg.ID{hg.Google, hg.Akamai} {
 		inferOne(ctx, scanner, farm, results, hg.Get(h))
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("scan interrupted: %w", err)
+		}
 	}
+	return nil
 }
 
 // inferOne applies §4 to one hypergiant using live scan data.

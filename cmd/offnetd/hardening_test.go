@@ -1,0 +1,299 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// altStore builds a store that differs from testStore: a shorter
+// window (two snapshots) and a bigger Google footprint at the latest
+// one, so a served response reveals which version answered it.
+func altStore(t testing.TB) *footstore.Store {
+	t.Helper()
+	s2, _ := timeline.FromLabel("2021-01")
+	s3, _ := timeline.FromLabel("2021-04")
+	b := footstore.NewBuilder()
+	for _, step := range []struct {
+		s  timeline.Snapshot
+		fp map[hg.ID][]astopo.ASN
+	}{
+		{s2, map[hg.ID][]astopo.ASN{hg.Google: {200}}},
+		{s3, map[hg.ID][]astopo.ASN{hg.Google: {100, 200, 300}, hg.Netflix: {200}}},
+	} {
+		if err := b.AddSnapshot(step.s, step.fp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.AddPrefix(netmodel.MustParsePrefix("10.1.0.0/16"), []astopo.ASN{100})
+	b.AddPrefix(netmodel.MustParsePrefix("10.1.2.0/24"), []astopo.ASN{200})
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	h := newServer(testStore(t), 4, 0)
+	if got := getJSON(t, h, "/healthz", 200); got["status"] != "ok" {
+		t.Errorf("healthz = %v", got)
+	}
+	ready := getJSON(t, h, "/readyz", 200)
+	if ready["ready"] != true || ready["latest"] != "2021-04" || ready["snapshots"] != float64(3) {
+		t.Errorf("readyz = %v", ready)
+	}
+	// Readiness tracks reloads.
+	h.Reload(altStore(t))
+	if got := getJSON(t, h, "/readyz", 200); got["snapshots"] != float64(2) {
+		t.Errorf("readyz after reload = %v", got)
+	}
+}
+
+// A panicking handler costs one 500 response, never the daemon, and is
+// counted.
+func TestPanicRecovery(t *testing.T) {
+	s := newServer(testStore(t), 4, 0)
+	boom := s.wrap("snapshots", func(*footstore.Store, http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})
+	req := httptest.NewRequest("GET", "/v1/snapshots", nil)
+	rec := httptest.NewRecorder()
+	boom(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal error") {
+		t.Errorf("panic response body: %s", rec.Body.String())
+	}
+	if got := s.metrics.requests.Get("panics"); got == nil || got.String() != "1" {
+		t.Errorf("panics counter = %v, want 1", got)
+	}
+	// The worker token was released despite the panic: the pool still
+	// serves.
+	for i := 0; i < 8; i++ {
+		getJSON(t, s, "/v1/snapshots", 200)
+	}
+}
+
+// Once the worker pool is saturated past the queue deadline, requests
+// are shed with 429 + Retry-After instead of piling up.
+func TestLoadShedding(t *testing.T) {
+	s := newServer(testStore(t), 1, 5*time.Millisecond)
+	s.sem <- struct{}{} // occupy the only worker
+	defer func() { <-s.sem }()
+
+	req := httptest.NewRequest("GET", "/v1/snapshots", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated pool = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	if got := s.metrics.requests.Get("shed"); got == nil || got.String() != "1" {
+		t.Errorf("shed counter = %v, want 1", got)
+	}
+	// Health stays green through the overload: it bypasses the pool.
+	getJSON(t, s, "/healthz", 200)
+	getJSON(t, s, "/readyz", 200)
+}
+
+// TestHotReloadUnderLoad hammers the handler with 1000 concurrent
+// requests while the store is swapped repeatedly. Every response must
+// be a 2xx (a deliberate 429 shed would also be legal, but the queue
+// deadline here is generous) and every footprint answer must be
+// internally consistent with exactly one store version. Run under
+// -race this is the zero-downtime reload proof.
+func TestHotReloadUnderLoad(t *testing.T) {
+	a, b := testStore(t), altStore(t)
+	s := newServer(a, 16, 5*time.Second)
+	urls := []string{
+		"/v1/snapshots",
+		"/v1/ip/10.1.2.3",
+		"/v1/as/200",
+		"/v1/hg/google/footprint?snapshot=2021-04",
+		"/readyz",
+	}
+	const clients = 1000
+	stopSwap := make(chan struct{})
+	var swaps int
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		stores := []*footstore.Store{b, a}
+		for i := 0; ; i++ {
+			select {
+			case <-stopSwap:
+				return
+			default:
+			}
+			s.Reload(stores[i%2])
+			swaps++
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := urls[i%len(urls)]
+			req := httptest.NewRequest("GET", url, nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK:
+			case http.StatusTooManyRequests: // legal shed, not a failure
+			default:
+				errs <- fmt.Sprintf("%s -> %d: %s", url, rec.Code, rec.Body.String())
+				return
+			}
+			// Footprint answers must match one of the two versions
+			// exactly — never a torn mix.
+			if strings.Contains(url, "footprint") && rec.Code == http.StatusOK {
+				body := rec.Body.String()
+				if !strings.Contains(body, `"count": 2`) && !strings.Contains(body, `"count": 3`) {
+					errs <- fmt.Sprintf("torn footprint response: %s", body)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopSwap)
+	swapWG.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if swaps < 3 {
+		t.Fatalf("only %d store swaps happened during the load", swaps)
+	}
+}
+
+// syncWriter serializes run()'s output so the test can poll it while
+// the daemon goroutine writes.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func waitFor(t *testing.T, out *syncWriter, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(out.String(), want) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %q in output:\n%s", want, out.String())
+}
+
+func countOccurrences(s, sub string) int { return strings.Count(s, sub) }
+
+// TestSIGHUPReloadLifecycle drives the real signal path end to end:
+// serve, reload twice via SIGHUP (the second swap changes the store
+// content), survive a reload of a corrupt file, and keep answering
+// queries the whole time.
+func TestSIGHUPReloadLifecycle(t *testing.T) {
+	path := t.TempDir() + "/store.fst"
+	if err := testStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-store", path, "-addr", "127.0.0.1:0"}, out) }()
+	waitFor(t, out, "serving on")
+
+	m := regexp.MustCompile(`serving on (http://[^ ]+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no listen address in output:\n%s", out.String())
+	}
+	base := m[1]
+	get := func(p string, wantCode int) {
+		t.Helper()
+		resp, err := http.Get(base + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %d, want %d", p, resp.StatusCode, wantCode)
+		}
+	}
+	get("/readyz", 200)
+	get("/v1/hg/google/footprint", 200)
+
+	hup := func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reload 1: same file.
+	hup()
+	waitFor(t, out, "reloaded")
+	get("/v1/hg/google/footprint", 200)
+
+	// Reload 2: new content — the served window must shrink to the
+	// alternate store's two snapshots.
+	if err := altStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	hup()
+	waitFor(t, out, "2 snapshots")
+	get("/v1/hg/google/footprint?snapshot=2020-10", 404) // gone from the new window
+	get("/v1/hg/google/footprint?snapshot=2021-04", 200)
+
+	// Reload 3: corrupt file is rejected, old store keeps serving.
+	if err := os.WriteFile(path, []byte("definitely not a footstore"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hup()
+	waitFor(t, out, "reload failed")
+	get("/v1/hg/google/footprint?snapshot=2021-04", 200)
+	get("/readyz", 200)
+
+	if n := countOccurrences(out.String(), "reloaded"); n != 2 {
+		t.Errorf("saw %d successful reloads, want 2:\n%s", n, out.String())
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	waitFor(t, out, "shutting down")
+}

@@ -7,13 +7,20 @@
 //	GET /v1/ip/{ip}                           who serves from this address, since when
 //	GET /v1/as/{asn}                          a network's hypergiant tenants over time
 //	GET /v1/hg/{id}/footprint?snapshot=YYYY-MM   one hypergiant's off-net AS set
+//	GET /healthz                              liveness (never consumes a worker)
+//	GET /readyz                               readiness: a valid store is loaded
 //	GET /debug/vars                           request counters + latency histograms (expvar)
 //
 // Usage:
 //
-//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s]
+//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s] [-queue-wait 1s]
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM.
+// Production behavior: requests beyond the worker pool queue up to
+// -queue-wait and are then shed with 429 + Retry-After; handler panics
+// cost one 500, never the process. SIGHUP re-opens the store file,
+// validates it, and atomically swaps it in with zero downtime (a bad
+// file is rejected and the current store keeps serving). The daemon
+// shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -48,6 +55,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "localhost:8097", "listen address")
 	workers := fs.Int("workers", 256, "max concurrently served requests")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	queueWait := fs.Duration("queue-wait", time.Second, "max time a request queues for a worker before a 429 shed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,12 +68,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stats := st.Stats()
-	fmt.Fprintf(stdout, "loaded %s: %d snapshots (latest %s), %d hypergiants, %d spans, %d prefixes\n",
-		*storePath, stats.Snapshots, st.Latest().Label(), stats.Hypergiants, stats.Spans, stats.Prefixes)
+	fmt.Fprintf(stdout, "loaded %s: %s\n", *storePath, storeSummary(st))
 
+	s := newServer(st, *workers, *queueWait)
 	srv := &http.Server{
-		Handler:           http.TimeoutHandler(newServer(st, *workers), *timeout, `{"error":"request timed out"}`),
+		Handler:           http.TimeoutHandler(s, *timeout, `{"error":"request timed out"}`),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
@@ -73,17 +80,42 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "serving on http://%s (workers=%d timeout=%s)\n", ln.Addr(), *workers, *timeout)
+	fmt.Fprintf(stdout, "serving on http://%s (workers=%d timeout=%s queue-wait=%s)\n",
+		ln.Addr(), *workers, *timeout, *queueWait)
+
+	// Hot reload: SIGHUP re-opens the store file. footstore.Open fully
+	// validates the file (magic, version, CRC) before we swap the
+	// pointer, so a half-written or corrupt file can never reach
+	// serving traffic — the current store stays live instead.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-		fmt.Fprintln(stdout, "shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutCtx)
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-hup:
+			next, err := footstore.Open(*storePath)
+			if err != nil {
+				fmt.Fprintf(stdout, "reload failed, keeping current store: %v\n", err)
+				continue
+			}
+			s.Reload(next)
+			fmt.Fprintf(stdout, "reloaded %s: %s\n", *storePath, storeSummary(next))
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "shutting down")
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return srv.Shutdown(shutCtx)
+		}
 	}
+}
+
+func storeSummary(st *footstore.Store) string {
+	stats := st.Stats()
+	return fmt.Sprintf("%d snapshots (latest %s), %d hypergiants, %d spans, %d prefixes",
+		stats.Snapshots, st.Latest().Label(), stats.Hypergiants, stats.Spans, stats.Prefixes)
 }

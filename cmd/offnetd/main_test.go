@@ -77,7 +77,7 @@ func hostingHGs(v map[string]any) []string {
 }
 
 func TestEndpoints(t *testing.T) {
-	h := newServer(testStore(t), 8)
+	h := newServer(testStore(t), 8, 0)
 
 	snaps := getJSON(t, h, "/v1/snapshots", 200)
 	if snaps["latest"] != "2021-04" {
@@ -156,7 +156,7 @@ func TestEndpoints(t *testing.T) {
 // through a small worker pool; every one must complete successfully.
 // Run under -race this doubles as the lock-free-query-path check.
 func TestConcurrentLoad(t *testing.T) {
-	h := newServer(testStore(t), 16)
+	h := newServer(testStore(t), 16, 0)
 	urls := []string{
 		"/v1/snapshots",
 		"/v1/ip/10.1.2.3",
@@ -212,7 +212,7 @@ func TestEndToEndAgainstGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(st, 64))
+	srv := httptest.NewServer(newServer(st, 64, 0))
 	defer srv.Close()
 
 	get := func(path string, wantCode int) map[string]any {

@@ -19,54 +19,125 @@ import (
 )
 
 // server binds the immutable footprint store to the HTTP surface. The
-// store itself is lock-free; the only shared mutable state is the
-// atomic metrics and the worker semaphore, so any number of requests
-// can run concurrently.
+// store lives behind an atomic pointer so a SIGHUP reload can swap in a
+// freshly validated store with zero downtime: every request loads the
+// pointer exactly once and serves wholly from that version. The only
+// other shared mutable state is the atomic metrics and the worker
+// semaphore, so any number of requests can run concurrently.
 type server struct {
-	store   *footstore.Store
-	sem     chan struct{} // bounded worker pool: one token per in-flight request
-	metrics *metrics
+	store     atomic.Pointer[footstore.Store]
+	sem       chan struct{} // bounded worker pool: one token per in-flight request
+	queueWait time.Duration // how long a request may queue for a worker before being shed
+	metrics   *metrics
+	mux       *http.ServeMux
 }
+
+// storeHandler is a data endpoint: it receives the store version pinned
+// for this request.
+type storeHandler func(st *footstore.Store, w http.ResponseWriter, r *http.Request)
 
 // endpoint names, used as metric keys.
 var endpoints = []string{"snapshots", "ip", "as", "footprint"}
 
 // newServer builds the daemon's handler. workers caps the number of
-// concurrently served requests; excess requests queue until a worker
-// frees up or their context is cancelled.
-func newServer(st *footstore.Store, workers int) http.Handler {
+// concurrently served requests; excess requests queue up to queueWait
+// (zero: 1s) and are then shed with 429. /healthz and /readyz bypass
+// the worker pool entirely — health checks must answer even under
+// overload.
+func newServer(st *footstore.Store, workers int, queueWait time.Duration) *server {
 	if workers <= 0 {
 		workers = 256
 	}
-	s := &server{store: st, sem: make(chan struct{}, workers), metrics: newMetrics()}
-	publishMetrics(s.metrics, st)
+	if queueWait <= 0 {
+		queueWait = time.Second
+	}
+	s := &server{
+		sem:       make(chan struct{}, workers),
+		queueWait: queueWait,
+		metrics:   newMetrics(),
+	}
+	s.store.Store(st)
+	publishMetrics(s.metrics, s)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/snapshots", s.wrap("snapshots", s.handleSnapshots))
-	mux.HandleFunc("GET /v1/ip/{ip}", s.wrap("ip", s.handleIP))
-	mux.HandleFunc("GET /v1/as/{asn}", s.wrap("as", s.handleAS))
-	mux.HandleFunc("GET /v1/hg/{id}/footprint", s.wrap("footprint", s.handleFootprint))
+	mux.HandleFunc("GET /v1/snapshots", s.wrap("snapshots", handleSnapshots))
+	mux.HandleFunc("GET /v1/ip/{ip}", s.wrap("ip", handleIP))
+	mux.HandleFunc("GET /v1/as/{asn}", s.wrap("as", handleAS))
+	mux.HandleFunc("GET /v1/hg/{id}/footprint", s.wrap("footprint", handleFootprint))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	s.mux = mux
+	return s
 }
 
-// wrap applies the worker bound and records per-endpoint request
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Reload atomically swaps the served store. In-flight requests finish
+// on the version they pinned; new requests see the new store.
+func (s *server) Reload(st *footstore.Store) { s.store.Store(st) }
+
+// wrap applies panic recovery, the worker bound with queue-deadline
+// load shedding, the per-request store pin, and per-endpoint request
 // counts and latency.
-func (s *server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+func (s *server) wrap(name string, h storeHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// A bug in one handler must cost one 500, never the daemon.
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.requests.Add("panics", 1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
 		select {
 		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			s.metrics.requests.Add("rejected", 1)
-			writeError(w, http.StatusServiceUnavailable, "server saturated")
-			return
+		default:
+			// Saturated: queue for at most queueWait, then shed. 429
+			// tells well-behaved clients to back off, which is what
+			// keeps the daemon live through an overload instead of
+			// letting every request time out at the full deadline.
+			t := time.NewTimer(s.queueWait)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+			case <-t.C:
+				s.metrics.requests.Add("shed", 1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server overloaded, request shed")
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				s.metrics.requests.Add("rejected", 1)
+				writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
+				return
+			}
 		}
+		defer func() { <-s.sem }()
 		start := time.Now()
-		h(w, r)
+		h(s.store.Load(), w, r)
 		s.metrics.requests.Add(name, 1)
 		s.metrics.latency[name].observe(time.Since(start))
 	}
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is readiness: a valid, non-empty store is loaded. It
+// stays true across hot reloads — the old store serves until the swap.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Load()
+	if st == nil || st.Stats().Snapshots == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":     true,
+		"snapshots": st.Stats().Snapshots,
+		"latest":    st.Latest().Label(),
+	})
 }
 
 // hostingJSON is the wire form of one hypergiant presence run.
@@ -78,10 +149,10 @@ type hostingJSON struct {
 	Current bool       `json:"current"` // still present at the store's latest snapshot
 }
 
-func (s *server) hostingsJSON(as astopo.ASN) []hostingJSON {
-	latest := s.store.Latest()
+func hostingsJSON(st *footstore.Store, as astopo.ASN) []hostingJSON {
+	latest := st.Latest()
 	out := []hostingJSON{}
-	for _, h := range s.store.HostingsOf(as) {
+	for _, h := range st.HostingsOf(as) {
 		out = append(out, hostingJSON{
 			HG:      h.HG.String(),
 			AS:      h.AS,
@@ -94,39 +165,39 @@ func (s *server) hostingsJSON(as astopo.ASN) []hostingJSON {
 }
 
 // handleSnapshots answers GET /v1/snapshots.
-func (s *server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
-	snaps := s.store.Snapshots()
+func handleSnapshots(st *footstore.Store, w http.ResponseWriter, r *http.Request) {
+	snaps := st.Snapshots()
 	labels := make([]string, len(snaps))
 	for i, sn := range snaps {
 		labels[i] = sn.Label()
 	}
 	hgs := []string{}
-	for _, id := range s.store.Hypergiants() {
+	for _, id := range st.Hypergiants() {
 		hgs = append(hgs, id.String())
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshots":   labels,
-		"latest":      s.store.Latest().Label(),
+		"latest":      st.Latest().Label(),
 		"hypergiants": hgs,
 	})
 }
 
 // handleIP answers GET /v1/ip/{ip}: which hypergiants serve from this
 // address's network, and since when.
-func (s *server) handleIP(w http.ResponseWriter, r *http.Request) {
+func handleIP(st *footstore.Store, w http.ResponseWriter, r *http.Request) {
 	ip, err := netmodel.ParseIP(r.PathValue("ip"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	prefix, origins, ok := s.store.LookupIP(ip)
+	prefix, origins, ok := st.LookupIP(ip)
 	resp := map[string]any{"ip": ip.String(), "mapped": ok}
 	hostings := []hostingJSON{}
 	if ok {
 		resp["prefix"] = prefix.String()
 		resp["asns"] = origins
 		for _, as := range origins {
-			hostings = append(hostings, s.hostingsJSON(as)...)
+			hostings = append(hostings, hostingsJSON(st, as)...)
 		}
 	}
 	resp["hostings"] = hostings
@@ -135,7 +206,7 @@ func (s *server) handleIP(w http.ResponseWriter, r *http.Request) {
 
 // handleAS answers GET /v1/as/{asn}: the AS's hypergiant tenants over
 // the whole study window.
-func (s *server) handleAS(w http.ResponseWriter, r *http.Request) {
+func handleAS(st *footstore.Store, w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.ParseUint(r.PathValue("asn"), 10, 32)
 	if err != nil || n == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid ASN %q", r.PathValue("asn")))
@@ -144,19 +215,19 @@ func (s *server) handleAS(w http.ResponseWriter, r *http.Request) {
 	as := astopo.ASN(n)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"asn":      as,
-		"hostings": s.hostingsJSON(as),
+		"hostings": hostingsJSON(st, as),
 	})
 }
 
 // handleFootprint answers GET /v1/hg/{id}/footprint?snapshot=YYYY-MM
 // (default: the latest snapshot in the store).
-func (s *server) handleFootprint(w http.ResponseWriter, r *http.Request) {
+func handleFootprint(st *footstore.Store, w http.ResponseWriter, r *http.Request) {
 	h, ok := parseHG(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown hypergiant %q", r.PathValue("id")))
 		return
 	}
-	snap := s.store.Latest()
+	snap := st.Latest()
 	if label := r.URL.Query().Get("snapshot"); label != "" {
 		snap, ok = timeline.FromLabel(label)
 		if !ok {
@@ -164,7 +235,7 @@ func (s *server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ases, ok := s.store.Footprint(h.ID, snap)
+	ases, ok := st.Footprint(h.ID, snap)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("snapshot %s not in store", snap.Label()))
 		return
@@ -265,7 +336,7 @@ func (h *latencyHist) snapshot() map[string]any {
 // servers in the same process (tests) keep private metrics.
 var publishOnce sync.Once
 
-func publishMetrics(m *metrics, st *footstore.Store) {
+func publishMetrics(m *metrics, s *server) {
 	publishOnce.Do(func() {
 		expvar.Publish("offnetd.requests", m.requests)
 		expvar.Publish("offnetd.latency", expvar.Func(func() any {
@@ -277,6 +348,6 @@ func publishMetrics(m *metrics, st *footstore.Store) {
 			}
 			return out
 		}))
-		expvar.Publish("offnetd.store", expvar.Func(func() any { return st.Stats() }))
+		expvar.Publish("offnetd.store", expvar.Func(func() any { return s.store.Load().Stats() }))
 	})
 }

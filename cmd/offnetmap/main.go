@@ -7,13 +7,23 @@
 //	offnetmap -corpus ./data [-vendor rapid7] [-snapshot 2021-04] [-certs-only] [-list google]
 //	offnetmap -corpus ./data -growth            # Fig-3-style series from disk
 //	offnetmap -corpus ./data -growth -store out.fst   # also freeze a queryable store for offnetd
+//
+// Real vendor corpuses are messy (§5: loss, truncation, uneven
+// quality), so reads are tolerant by default: malformed records are
+// skipped and accounted per file within the -max-bad budget, and in
+// -growth mode a vendor-month that is corrupt beyond salvage is
+// dropped — the run completes on the remaining months and marks the
+// reduced coverage in the report. -tolerant=false restores strict
+// fail-on-first-error reads.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
@@ -47,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 	list := fs.String("list", "", "also list the hosting ASes of this hypergiant")
 	growth := fs.Bool("growth", false, "run every snapshot on disk and print growth series")
 	storePath := fs.String("store", "", "freeze the inferred footprints into a footstore file (serve it with offnetd)")
+	tolerant := fs.Bool("tolerant", true, "skip malformed corpus records within -max-bad; in -growth, drop corrupt vendor-months instead of aborting")
+	maxBad := fs.Float64("max-bad", 0.05, "per-file error budget: max fraction of malformed records a tolerant read accepts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-corpus is required")
 	}
+	opts := corpus.ReadOptions{Tolerant: *tolerant, MaxBadFraction: *maxBad}
 
 	pipeline, err := pipelineFromManifest(*dir, *certsOnly)
 	if err != nil {
@@ -61,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *growth {
-		sr, err := runGrowth(stdout, pipeline, *dir, corpus.Vendor(*vendor))
+		sr, err := runGrowth(stdout, pipeline, *dir, corpus.Vendor(*vendor), opts)
 		if err != nil {
 			return err
 		}
@@ -83,10 +96,11 @@ func run(args []string, stdout io.Writer) error {
 	if !ok {
 		return fmt.Errorf("invalid snapshot %q", *snapLabel)
 	}
-	snap, err := corpus.Read(*dir, corpus.Vendor(*vendor), s)
+	snap, stats, err := corpus.ReadWithStats(*dir, corpus.Vendor(*vendor), s, opts)
 	if err != nil {
 		return fmt.Errorf("reading corpus: %w", err)
 	}
+	reportSkips(stdout, *vendor, s, stats)
 	res := pipeline.Run(snap)
 	printSnapshot(stdout, res, *vendor, s)
 	if *storePath != "" {
@@ -229,15 +243,48 @@ func saveStore(stdout io.Writer, st *footstore.Store, path string) error {
 	return nil
 }
 
-// runGrowth replays the whole on-disk corpus through the study runner.
-func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor) (*core.StudyResult, error) {
-	sr := pipeline.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
-		snap, err := corpus.Read(dir, vendor, s)
-		if err != nil {
-			return nil // months the corpus doesn't cover
+// reportSkips prints one line per corpus file that lost records to a
+// tolerant read, so degraded inputs are visible in the run output.
+func reportSkips(stdout io.Writer, vendor string, s timeline.Snapshot, stats *corpus.ReadStats) {
+	if stats == nil {
+		return
+	}
+	for _, f := range stats.Files {
+		if f.Skipped > 0 {
+			fmt.Fprintf(stdout, "degraded read %s/%s: %s\n", vendor, s.Label(), f)
 		}
+	}
+}
+
+// runGrowth replays the whole on-disk corpus through the study runner.
+// In tolerant mode a vendor-month that is corrupt beyond the error
+// budget is dropped from the series and the reduced coverage is
+// reported; in strict mode the first read error aborts the run.
+func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor, opts corpus.ReadOptions) (*core.StudyResult, error) {
+	var dropped []string
+	var readErr error
+	sr := pipeline.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
+		snap, stats, err := corpus.ReadWithStats(dir, vendor, s, opts)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // months the corpus doesn't cover
+			}
+			if !opts.Tolerant {
+				if readErr == nil {
+					readErr = fmt.Errorf("reading corpus %s/%s: %w", vendor, s.Label(), err)
+				}
+				return nil
+			}
+			fmt.Fprintf(stdout, "warning: dropping corpus %s/%s: %v\n", vendor, s.Label(), err)
+			dropped = append(dropped, s.Label())
+			return nil
+		}
+		reportSkips(stdout, string(vendor), s, stats)
 		return snap
 	})
+	if readErr != nil {
+		return nil, readErr
+	}
 	fmt.Fprintf(stdout, "%-8s %7s %9s %7s %8s %8s %8s\n",
 		"snap", "Google", "Facebook", "Akamai", "NF-init", "NF-exp", "NF-http")
 	g := sr.ConfirmedSeries(hg.Google)
@@ -250,6 +297,10 @@ func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor cor
 		fmt.Fprintf(stdout, "%-8s %7d %9d %7d %8d %8d %8d\n",
 			s.Label(), g[s], f[s], a[s],
 			sr.NetflixInitial[s], sr.NetflixWithExpired[s], sr.NetflixNonTLS[s])
+	}
+	if len(dropped) > 0 {
+		fmt.Fprintf(stdout, "reduced coverage: %d month(s) dropped for corruption: %s\n",
+			len(dropped), strings.Join(dropped, " "))
 	}
 	return sr, nil
 }

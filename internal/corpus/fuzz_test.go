@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"offnetscope/internal/certmodel"
+)
+
+// gzipped compresses raw NDJSON for seeding the fuzzer.
+func gzipped(t testing.TB, raw string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write([]byte(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCorpusRead throws arbitrary bytes at the NDJSON+gzip decode path
+// (mirroring FuzzFootstoreDecode): corrupt input must produce an error
+// or a clean skip — never a panic — in both strict and tolerant mode,
+// and tolerant accounting must stay consistent with what was decoded.
+func FuzzCorpusRead(f *testing.F) {
+	valid := gzipped(f,
+		`{"ip":"1.2.3.4","chain":[{"serial":1,"subject_org":"Google LLC","key":1,"signed_by":2}]}`+"\n"+
+			`{"ip":"5.6.7.8","chain":[]}`+"\n")
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(gzipped(f, "not json at all\n{\"ip\":\"bad\"}\n"))
+	f.Add(gzipped(f, ""))
+	f.Add([]byte("not gzip"))
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		for _, opts := range []ReadOptions{
+			{},
+			{Tolerant: true},
+			{Tolerant: true, MaxBadFraction: 1},
+		} {
+			gz, err := gzip.NewReader(bytes.NewReader(input))
+			if err != nil {
+				continue
+			}
+			snap := &Snapshot{}
+			interned := make(map[certmodel.Fingerprint]*certmodel.Certificate)
+			fs := &FileStats{Name: "fuzz"}
+			err = decodeNDJSON(gz, "fuzz", opts, fs, certLineDecoder(snap, interned))
+			gz.Close()
+			if fs.Records != len(snap.Certs) {
+				t.Fatalf("accounting drift: %d records counted, %d decoded", fs.Records, len(snap.Certs))
+			}
+			if !opts.Tolerant && fs.Skipped != 0 {
+				t.Fatalf("strict mode skipped %d records", fs.Skipped)
+			}
+			if err == nil && opts.Tolerant {
+				total := fs.Records + fs.Skipped
+				if total > 0 && float64(fs.Skipped) > opts.budget()*float64(total) {
+					t.Fatalf("accepted a file over budget: %s", fs)
+				}
+			}
+		}
+	})
+}

@@ -2,12 +2,15 @@ package corpus
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"offnetscope/internal/certmodel"
@@ -116,47 +119,217 @@ func writeHeaderFile(path string, records []HeaderRecord) error {
 	})
 }
 
-func writeNDJSON(path string, n int, encode func(*json.Encoder, int) error) error {
-	f, err := os.Create(path)
+// writeNDJSON is crash-safe: it streams into a temp file in the target
+// directory and renames it into place only after the gzip stream is
+// finalized and fsynced, so a killed run can never leave a truncated
+// *.ndjson.gz behind to poison later reads — at worst it leaves a
+// *.tmp-* file that the next Write simply ignores.
+func writeNDJSON(path string, n int, encode func(*json.Encoder, int) error) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()      //nolint:errcheck — already failing
+			os.Remove(tmp) //nolint:errcheck — best-effort cleanup
+		}
+	}()
 	gz := gzip.NewWriter(f)
 	bw := bufio.NewWriterSize(gz, 1<<16)
 	enc := json.NewEncoder(bw)
 	for i := 0; i < n; i++ {
-		if err := encode(enc, i); err != nil {
-			f.Close()
+		if err = encode(enc, i); err != nil {
 			return fmt.Errorf("corpus: encoding %s: %w", path, err)
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
+	if err = bw.Flush(); err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
-	if err := gz.Close(); err != nil {
-		f.Close()
+	if err = gz.Close(); err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err = os.Chmod(tmp, 0o644); err != nil { // CreateTemp makes 0600
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
 }
 
-// Read loads a snapshot previously persisted with Write. Shared
-// intermediate certificates are deduplicated by fingerprint so the
-// in-memory size matches freshly scanned snapshots.
+// ReadOptions selects between the strict and the degraded-mode read
+// path.
+type ReadOptions struct {
+	// Tolerant skips malformed records instead of failing on the first
+	// one, within the per-file error budget below. File-level damage — a
+	// corrupt or truncated gzip stream — still fails the read: the
+	// remainder of such a file is unknowable, so its budget cannot be
+	// assessed.
+	Tolerant bool
+	// MaxBadFraction is the per-file error budget: the tolerant read
+	// fails with ErrBudgetExceeded once skipped records exceed this
+	// fraction of the records seen. Zero means 5%.
+	MaxBadFraction float64
+}
+
+func (o ReadOptions) budget() float64 {
+	if o.MaxBadFraction <= 0 {
+		return 0.05
+	}
+	return o.MaxBadFraction
+}
+
+// ErrBudgetExceeded reports that a file blew through its tolerant-mode
+// error budget; the whole snapshot read fails with it so callers can
+// drop the vendor-month rather than trust a mostly-corrupt file.
+var ErrBudgetExceeded = errors.New("corpus: per-file error budget exceeded")
+
+// FileStats is the degraded-mode accounting for one NDJSON file.
+type FileStats struct {
+	Name    string         // base file name
+	Records int            // records decoded OK
+	Skipped int            // malformed records dropped (tolerant mode)
+	Reasons map[string]int // skip reasons: "json", "ip", ...
+}
+
+func (fs *FileStats) skip(reason string) {
+	fs.Skipped++
+	if fs.Reasons == nil {
+		fs.Reasons = make(map[string]int)
+	}
+	fs.Reasons[reason]++
+}
+
+// String renders one file's accounting, e.g.
+// "certs.ndjson.gz: 4988 ok, 12 skipped (json=10 ip=2)".
+func (fs *FileStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d ok, %d skipped", fs.Name, fs.Records, fs.Skipped)
+	if len(fs.Reasons) > 0 {
+		reasons := make([]string, 0, len(fs.Reasons))
+		for r := range fs.Reasons {
+			reasons = append(reasons, r)
+		}
+		// Deterministic order without importing sort for two keys.
+		for i := 1; i < len(reasons); i++ {
+			for j := i; j > 0 && reasons[j] < reasons[j-1]; j-- {
+				reasons[j], reasons[j-1] = reasons[j-1], reasons[j]
+			}
+		}
+		b.WriteString(" (")
+		for i, r := range reasons {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", r, fs.Reasons[r])
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// ReadStats aggregates per-file accounting across one snapshot read.
+type ReadStats struct {
+	Files []*FileStats
+}
+
+func (st *ReadStats) file(name string) *FileStats {
+	fs := &FileStats{Name: name}
+	st.Files = append(st.Files, fs)
+	return fs
+}
+
+// TotalRecords sums records decoded OK across all files.
+func (st *ReadStats) TotalRecords() int {
+	n := 0
+	for _, fs := range st.Files {
+		n += fs.Records
+	}
+	return n
+}
+
+// TotalSkipped sums dropped records across all files.
+func (st *ReadStats) TotalSkipped() int {
+	n := 0
+	for _, fs := range st.Files {
+		n += fs.Skipped
+	}
+	return n
+}
+
+// recordError tags a per-record decode failure with its accounting
+// reason.
+type recordError struct {
+	reason string
+	err    error
+}
+
+func (e *recordError) Error() string { return e.reason + ": " + e.err.Error() }
+func (e *recordError) Unwrap() error { return e.err }
+
+func badRecord(reason string, err error) error { return &recordError{reason: reason, err: err} }
+
+func reasonOf(err error) string {
+	var re *recordError
+	if errors.As(err, &re) {
+		return re.reason
+	}
+	return "decode"
+}
+
+// Read loads a snapshot previously persisted with Write, strictly: the
+// first malformed record fails the read. Shared intermediate
+// certificates are deduplicated by fingerprint so the in-memory size
+// matches freshly scanned snapshots.
 func Read(root string, vendor Vendor, s timeline.Snapshot) (*Snapshot, error) {
+	snap, _, err := ReadWithStats(root, vendor, s, ReadOptions{})
+	return snap, err
+}
+
+// ReadWithStats loads a snapshot under the given options. In tolerant
+// mode, malformed records are skipped and counted per file; the read
+// fails only when a file exceeds its error budget or is damaged at the
+// gzip level. The returned stats are valid (for inspection) even when
+// err is non-nil.
+func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOptions) (*Snapshot, *ReadStats, error) {
 	dir := Dir(root, vendor, s)
 	snap := &Snapshot{Vendor: vendor, Snapshot: s}
+	stats := &ReadStats{}
 	interned := make(map[certmodel.Fingerprint]*certmodel.Certificate)
 
-	err := readNDJSON(filepath.Join(dir, "certs.ndjson.gz"), func(dec *json.Decoder) error {
+	name := "certs.ndjson.gz"
+	err := readNDJSONFile(filepath.Join(dir, name), opts, stats.file(name), certLineDecoder(snap, interned))
+	if err != nil {
+		return nil, stats, err
+	}
+	if snap.HTTPS, err = readHeaderFile(filepath.Join(dir, "https_headers.ndjson.gz"), opts, stats); err != nil {
+		return nil, stats, err
+	}
+	if snap.HTTP, err = readHeaderFile(filepath.Join(dir, "http_headers.ndjson.gz"), opts, stats); err != nil {
+		return nil, stats, err
+	}
+	return snap, stats, nil
+}
+
+// certLineDecoder decodes one certs.ndjson.gz line into snap, interning
+// repeated intermediates/roots by fingerprint.
+func certLineDecoder(snap *Snapshot, interned map[certmodel.Fingerprint]*certmodel.Certificate) func([]byte) error {
+	return func(line []byte) error {
 		var w wireCertRecord
-		if err := dec.Decode(&w); err != nil {
-			return err
+		if err := json.Unmarshal(line, &w); err != nil {
+			return badRecord("json", err)
 		}
 		ip, err := netmodel.ParseIP(w.IP)
 		if err != nil {
-			return err
+			return badRecord("ip", err)
 		}
 		rec := CertRecord{IP: ip}
 		for i := range w.Chain {
@@ -172,37 +345,32 @@ func Read(root string, vendor Vendor, s timeline.Snapshot) (*Snapshot, error) {
 		}
 		snap.Certs = append(snap.Certs, rec)
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	if snap.HTTPS, err = readHeaderFile(filepath.Join(dir, "https_headers.ndjson.gz")); err != nil {
-		return nil, err
-	}
-	if snap.HTTP, err = readHeaderFile(filepath.Join(dir, "http_headers.ndjson.gz")); err != nil {
-		return nil, err
-	}
-	return snap, nil
 }
 
-func readHeaderFile(path string) ([]HeaderRecord, error) {
+func readHeaderFile(path string, opts ReadOptions, stats *ReadStats) ([]HeaderRecord, error) {
 	var out []HeaderRecord
-	err := readNDJSON(path, func(dec *json.Decoder) error {
-		var w wireHeaderRecord
-		if err := dec.Decode(&w); err != nil {
-			return err
-		}
-		ip, err := netmodel.ParseIP(w.IP)
-		if err != nil {
-			return err
-		}
-		out = append(out, HeaderRecord{IP: ip, Headers: w.Headers})
-		return nil
-	})
+	err := readNDJSONFile(path, opts, stats.file(filepath.Base(path)), headerLineDecoder(&out))
 	return out, err
 }
 
-func readNDJSON(path string, decode func(*json.Decoder) error) (err error) {
+// headerLineDecoder decodes one header-file line into out.
+func headerLineDecoder(out *[]HeaderRecord) func([]byte) error {
+	return func(line []byte) error {
+		var w wireHeaderRecord
+		if err := json.Unmarshal(line, &w); err != nil {
+			return badRecord("json", err)
+		}
+		ip, err := netmodel.ParseIP(w.IP)
+		if err != nil {
+			return badRecord("ip", err)
+		}
+		*out = append(*out, HeaderRecord{IP: ip, Headers: w.Headers})
+		return nil
+	}
+}
+
+func readNDJSONFile(path string, opts ReadOptions, fs *FileStats, decode func([]byte) error) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
@@ -224,13 +392,49 @@ func readNDJSON(path string, decode func(*json.Decoder) error) (err error) {
 			err = fmt.Errorf("corpus: closing %s: %w", path, cerr)
 		}
 	}()
-	dec := json.NewDecoder(gz)
-	for {
-		if err := decode(dec); err != nil {
-			if err == io.EOF {
-				return nil
+	return decodeNDJSON(gz, path, opts, fs, decode)
+}
+
+// decodeNDJSON walks one record-per-line stream. Strict mode fails on
+// the first malformed record; tolerant mode skips and counts it,
+// failing only past the error budget. Stream-level read errors (flate
+// corruption, truncation) always fail: the undecodable remainder makes
+// the budget unassessable.
+//
+// The budget is enforced incrementally once enough lines have been seen
+// to judge the fraction, and finally at EOF — so a hopelessly corrupt
+// file aborts early instead of burning through gigabytes.
+func decodeNDJSON(r io.Reader, name string, opts ReadOptions, fs *FileStats, decode func([]byte) error) error {
+	const minSampleForEarlyAbort = 512
+	budget := opts.budget()
+	overBudget := func() bool {
+		total := fs.Records + fs.Skipped
+		return float64(fs.Skipped) > budget*float64(total)
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := br.ReadBytes('\n')
+		if rec := bytes.TrimSpace(line); len(rec) > 0 {
+			if derr := decode(rec); derr != nil {
+				if !opts.Tolerant {
+					return fmt.Errorf("corpus: decoding %s line %d: %w", name, lineNo, derr)
+				}
+				fs.skip(reasonOf(derr))
+				if fs.Records+fs.Skipped >= minSampleForEarlyAbort && overBudget() {
+					return fmt.Errorf("%w: %s after %d lines (%s)", ErrBudgetExceeded, name, lineNo, fs)
+				}
+			} else {
+				fs.Records++
 			}
-			return fmt.Errorf("corpus: decoding %s: %w", path, err)
+		}
+		if rerr == io.EOF {
+			if opts.Tolerant && fs.Skipped > 0 && overBudget() {
+				return fmt.Errorf("%w: %s (%s)", ErrBudgetExceeded, name, fs)
+			}
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("corpus: reading %s: %w", name, rerr)
 		}
 	}
 }

@@ -1,0 +1,207 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// rewriteNDJSONGZ decompresses path, applies edit to the raw NDJSON
+// lines, and writes the result back compressed.
+func rewriteNDJSONGZ(t *testing.T, path string, edit func(lines []string) []string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	lines = edit(lines)
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write([]byte(strings.Join(lines, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tolerant mode skips malformed records within the budget, counts them
+// by reason, and keeps every well-formed record; strict mode still
+// fails on the first malformed record.
+func TestTolerantReadSkipsMalformed(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(Dir(root, Rapid7, snap.Snapshot), "certs.ndjson.gz")
+	const badJSON, badIP = 3, 1
+	rewriteNDJSONGZ(t, path, func(lines []string) []string {
+		out := []string{"this is not json", `{"ip":`}
+		out = append(out, lines...)
+		out = append(out, "{corrupt", `{"ip":"not-an-address","chain":[]}`)
+		return out
+	})
+
+	if _, err := Read(root, Rapid7, snap.Snapshot); err == nil {
+		t.Fatal("strict read accepted malformed records")
+	}
+
+	back, stats, err := ReadWithStats(root, Rapid7, snap.Snapshot, ReadOptions{Tolerant: true, MaxBadFraction: 0.2})
+	if err != nil {
+		t.Fatalf("tolerant read: %v", err)
+	}
+	if len(back.Certs) != len(snap.Certs) {
+		t.Fatalf("kept %d records, want %d", len(back.Certs), len(snap.Certs))
+	}
+	fs := stats.Files[0]
+	if fs.Name != "certs.ndjson.gz" || fs.Records != len(snap.Certs) {
+		t.Fatalf("file stats: %+v", fs)
+	}
+	if fs.Skipped != badJSON+badIP || fs.Reasons["json"] != badJSON || fs.Reasons["ip"] != badIP {
+		t.Fatalf("skip accounting wrong: %s", fs)
+	}
+	if stats.TotalSkipped() != badJSON+badIP || stats.TotalRecords() != len(snap.Certs)+len(snap.HTTPS)+len(snap.HTTP) {
+		t.Fatalf("totals wrong: records=%d skipped=%d", stats.TotalRecords(), stats.TotalSkipped())
+	}
+	for _, want := range []string{"certs.ndjson.gz:", "4 skipped", "json=3", "ip=1"} {
+		if !strings.Contains(fs.String(), want) {
+			t.Errorf("stats string %q missing %q", fs.String(), want)
+		}
+	}
+}
+
+// Past the per-file budget the tolerant read fails with
+// ErrBudgetExceeded instead of returning a mostly-empty snapshot.
+func TestTolerantReadBudget(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(Dir(root, Rapid7, snap.Snapshot), "certs.ndjson.gz")
+	rewriteNDJSONGZ(t, path, func(lines []string) []string {
+		for i := 0; i < 20; i++ {
+			lines = append(lines, "garbage record")
+		}
+		return lines
+	})
+	// 20 bad / 71 total ≈ 28%: over a 5% budget, under a 50% one.
+	_, _, err := ReadWithStats(root, Rapid7, snap.Snapshot, ReadOptions{Tolerant: true})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, _, err := ReadWithStats(root, Rapid7, snap.Snapshot, ReadOptions{Tolerant: true, MaxBadFraction: 0.5}); err != nil {
+		t.Fatalf("generous budget still failed: %v", err)
+	}
+}
+
+// A hopelessly corrupt file aborts during the scan, not after reading
+// the whole thing.
+func TestTolerantReadEarlyAbort(t *testing.T) {
+	var raw strings.Builder
+	for i := 0; i < 10000; i++ {
+		raw.WriteString("junk line\n")
+	}
+	fs := &FileStats{Name: "junk"}
+	err := decodeNDJSON(strings.NewReader(raw.String()), "junk", ReadOptions{Tolerant: true}, fs,
+		func([]byte) error { return badRecord("json", errors.New("nope")) })
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if fs.Skipped >= 10000 {
+		t.Fatalf("read all %d lines before giving up", fs.Skipped)
+	}
+}
+
+// Tolerant mode must still refuse gzip-level damage: a truncated stream
+// has an unassessable remainder.
+func TestTolerantReadStillFailsTruncatedGzip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(Dir(root, Rapid7, snap.Snapshot), "certs.ndjson.gz")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadWithStats(root, Rapid7, snap.Snapshot, ReadOptions{Tolerant: true}); err == nil {
+		t.Fatal("tolerant read accepted a truncated gzip stream")
+	}
+}
+
+// writeNDJSON must never leave a partial file at the target path: on an
+// encode error the temp file is removed and a pre-existing good file
+// survives untouched.
+func TestWriteNDJSONCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.ndjson.gz")
+	writeVals := func(vals []int) error {
+		return writeNDJSON(path, len(vals), func(enc *json.Encoder, i int) error {
+			return enc.Encode(vals[i])
+		})
+	}
+	if err := writeVals([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err = writeNDJSON(path, 3, func(enc *json.Encoder, i int) error {
+		if i == 1 {
+			return boom
+		}
+		return enc.Encode(i)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the encode error", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed write clobbered the existing file")
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files leaked: %v", leftovers)
+	}
+	// The surviving file still round-trips through gzip.
+	gz, err := gzip.NewReader(bytes.NewReader(after))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(gz); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,8 +8,8 @@ import "strings"
 // neither "example.com" nor "a.b.example.com"). Comparison is
 // case-insensitive.
 func MatchDomain(pattern, name string) bool {
-	pattern = strings.ToLower(pattern)
-	name = strings.ToLower(name)
+	pattern = lowerASCII(pattern)
+	name = lowerASCII(name)
 	if !strings.HasPrefix(pattern, "*.") {
 		return pattern == name
 	}
@@ -19,6 +19,28 @@ func MatchDomain(pattern, name string) bool {
 	}
 	label := name[:len(name)-len(suffix)]
 	return label != "" && !strings.Contains(label, ".")
+}
+
+// lowerASCII lowercases A-Z byte-wise. Domain names are ASCII;
+// strings.ToLower must not be used here because it folds every invalid
+// UTF-8 byte to U+FFFD, making distinct garbage names compare equal.
+func lowerASCII(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // ConcreteDomain turns a dNSName pattern into a representative concrete

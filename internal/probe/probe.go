@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"offnetscope/internal/hg"
+	"offnetscope/internal/resilience"
 )
 
 // Config tunes the scanner.
@@ -31,10 +32,13 @@ type Config struct {
 	// RootCAs verifies fetched chains; nil skips verification status
 	// (the chain is still captured).
 	RootCAs *x509.CertPool
-	// Retries re-attempts failed dials/handshakes with linear backoff;
+	// Retries re-attempts failed dials/handshakes with capped
+	// exponential backoff and full jitter (internal/resilience);
 	// transient loss is the main reason fast scans under-count (§5).
 	Retries int
-	// RetryBackoff is the wait between attempts. Zero means 100ms.
+	// RetryBackoff is the base backoff delay; successive attempts
+	// double it up to 10x, each sleep jittered uniformly below the
+	// ceiling. Zero means 100ms.
 	RetryBackoff time.Duration
 }
 
@@ -104,16 +108,22 @@ func (s *Scanner) FetchCerts(ctx context.Context, addrs []string) []CertResult {
 	return results
 }
 
-// fetchCertRetry wraps fetchCert with the configured retry policy.
+// fetchCertRetry wraps fetchCert with the configured retry policy:
+// every handshake failure is presumed transient (resilience's default
+// classification) because under-counting hosts costs more than a
+// wasted retry.
 func (s *Scanner) fetchCertRetry(ctx context.Context, addr, serverName string) CertResult {
-	res := s.fetchCert(ctx, addr, serverName)
-	for attempt := 0; attempt < s.cfg.Retries && res.Err != nil && ctx.Err() == nil; attempt++ {
-		select {
-		case <-time.After(s.cfg.RetryBackoff * time.Duration(attempt+1)):
-		case <-ctx.Done():
-			return res
-		}
+	res := CertResult{Addr: addr}
+	err := resilience.Retry(ctx, resilience.Policy{
+		MaxAttempts: s.cfg.Retries + 1,
+		BaseDelay:   s.cfg.RetryBackoff,
+		MaxDelay:    10 * s.cfg.RetryBackoff,
+	}, func(ctx context.Context) error {
 		res = s.fetchCert(ctx, addr, serverName)
+		return res.Err
+	})
+	if err != nil && res.Err == nil {
+		res.Err = err // context died before the first attempt ran
 	}
 	return res
 }

@@ -1,0 +1,183 @@
+// Package resilience is the shared retry policy for every component
+// that talks to something flaky — live probes over real sockets, corpus
+// reads off networked filesystems, store reloads. It implements
+// capped exponential backoff with full jitter (the AWS-architecture
+// recipe: sleep a uniform duration in (0, min(cap, base·2^attempt)],
+// which decorrelates synchronized retry storms better than equal or
+// decorrelated jitter), is context-aware throughout, and separates
+// retryable from permanent failures so callers never burn attempts on
+// errors that cannot clear.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"offnetscope/internal/rng"
+)
+
+// Policy tunes Retry. The zero value is usable: 3 attempts, 50ms base
+// delay, 2s cap, default classification.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Zero or negative means 3.
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule. Zero means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Zero means 2s.
+	MaxDelay time.Duration
+	// Classify reports whether an error is worth retrying. Nil means
+	// DefaultClassify.
+	Classify func(error) bool
+	// Seed, when nonzero, makes the jitter stream deterministic — the
+	// same property every simulator in this repo has. Zero draws from
+	// the process-wide stream, which is still reproducible run-to-run
+	// but shared across callers.
+	Seed uint64
+	// sleep is swapped by tests to observe the schedule.
+	sleep func(context.Context, time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Classify == nil {
+		p.Classify = DefaultClassify
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	return p
+}
+
+// permanentError marks an error no retry can clear.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return "permanent: " + e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry (under DefaultClassify) stops
+// immediately and returns it. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// DefaultClassify treats an error as retryable unless it is marked
+// Permanent or stems from the caller's own context ending — a cancelled
+// or timed-out context never heals inside the retry loop. Everything
+// else (dial refusals, resets, transient chaos faults, timeouts of the
+// individual attempt) is presumed transient: for scan traffic the cost
+// of a wasted retry is far below the cost of under-counting hosts (§5).
+func DefaultClassify(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsPermanent(err) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// globalJitter is the process-wide jitter stream used when Policy.Seed
+// is zero; guarded because Retry runs from many goroutines.
+var (
+	jitterMu     sync.Mutex
+	globalJitter = rng.New(0x7e5).Fork("resilience")
+)
+
+func jitterFloat(g *rng.RNG) float64 {
+	if g != nil {
+		return g.Float64()
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return globalJitter.Float64()
+}
+
+// Retry runs op until it succeeds, exhausts the attempt budget, hits a
+// non-retryable error, or ctx ends. It returns nil on success and
+// otherwise the last error observed (the attempt count is attached via
+// %w wrapping only in the exhausted case, so callers can still match
+// the underlying error with errors.Is/As).
+func Retry(ctx context.Context, p Policy, op func(context.Context) error) error {
+	p = p.withDefaults()
+	var g *rng.RNG
+	if p.Seed != 0 {
+		g = rng.New(p.Seed).Fork("resilience")
+	}
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				return cerr
+			}
+			return err
+		}
+		if err = op(ctx); err == nil {
+			return nil
+		}
+		if !p.Classify(err) {
+			return err
+		}
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		if serr := p.sleep(ctx, Backoff(p, attempt, jitterFloat(g))); serr != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, err)
+}
+
+// Backoff computes the sleep before retrying after the given attempt
+// (0-based): a uniform draw u∈[0,1) over (0, min(MaxDelay,
+// BaseDelay·2^attempt)] — full jitter. Exposed for callers that manage
+// their own loops.
+func Backoff(p Policy, attempt int, u float64) time.Duration {
+	p = p.withDefaults()
+	ceiling := p.BaseDelay
+	for i := 0; i < attempt && ceiling < p.MaxDelay; i++ {
+		ceiling *= 2
+	}
+	if ceiling > p.MaxDelay {
+		ceiling = p.MaxDelay
+	}
+	d := time.Duration(u * float64(ceiling))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
