@@ -39,11 +39,13 @@ fuzz-smoke:
 	go test -run=^$$ -fuzz=FuzzFromLabel -fuzztime=$(FUZZTIME) ./internal/timeline
 
 # The fault-injection suite under the race detector: corrupted-corpus
-# ingestion, hot reload under load, and the chaos reader itself.
+# ingestion, the kill/resume crash-equivalence suite, parallel-runner
+# determinism, hot reload under load, and the chaos reader itself.
 chaos-race:
-	go test -race ./internal/chaos ./internal/resilience
-	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe' ./internal/corpus ./cmd/offnetmap
-	go test -race -run 'TestHotReload|TestSIGHUP|TestLoadShedding|TestPanicRecovery|TestHealth' ./cmd/offnetd
+	go test -race ./internal/chaos ./internal/resilience ./internal/runstate
+	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe|TestCrashResume|TestGrowthJobs' ./internal/corpus ./cmd/offnetmap
+	go test -race -run 'TestRunStudyConfig' ./internal/core
+	go test -race -run 'TestHotReload|TestSIGHUP|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration' ./cmd/offnetd
 
 bench:
 	go test -bench=. -benchmem .

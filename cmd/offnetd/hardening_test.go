@@ -114,6 +114,67 @@ func TestLoadShedding(t *testing.T) {
 	getJSON(t, s, "/readyz", 200)
 }
 
+// The Retry-After hint tracks the configured queue deadline instead of
+// a hardcoded second: clients should stay away at least as long as a
+// request may queue.
+func TestRetryAfterDerivedFromQueueWait(t *testing.T) {
+	for _, tc := range []struct {
+		queueWait time.Duration
+		want      string
+	}{
+		{0, "1"}, // zero-value default (1s)
+		{5 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"}, // rounded up, never under-hinting
+		{4 * time.Second, "4"},
+	} {
+		s := newServer(testStore(t), 1, tc.queueWait)
+		if s.retryAfter != tc.want {
+			t.Errorf("queueWait %v: retryAfter = %q, want %q", tc.queueWait, s.retryAfter, tc.want)
+			continue
+		}
+		if tc.queueWait != 5*time.Millisecond {
+			continue // a shed waits out the full queue deadline (0 defaults to 1s); one quick case is enough
+		}
+		s.sem <- struct{}{} // occupy the only worker so the request sheds
+		req := httptest.NewRequest("GET", "/v1/snapshots", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		<-s.sem
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("queueWait %v: saturated pool = %d, want 429", tc.queueWait, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("queueWait %v: Retry-After = %q, want %q", tc.queueWait, got, tc.want)
+		}
+	}
+}
+
+// Every reload bumps the store generation and moves the last-reload
+// timestamp, so an operator can confirm from /debug/vars that a SIGHUP
+// actually swapped the store (and when).
+func TestReloadGeneration(t *testing.T) {
+	s := newServer(testStore(t), 4, 0)
+	if got := s.generation.Load(); got != 1 {
+		t.Fatalf("initial generation = %d, want 1", got)
+	}
+	t0 := s.lastReload.Load()
+	if t0 == 0 {
+		t.Fatal("initial load left no timestamp")
+	}
+	s.Reload(altStore(t))
+	if got := s.generation.Load(); got != 2 {
+		t.Errorf("generation after reload = %d, want 2", got)
+	}
+	s.Reload(altStore(t))
+	if got := s.generation.Load(); got != 3 {
+		t.Errorf("generation after second reload = %d, want 3", got)
+	}
+	if s.lastReload.Load() < t0 {
+		t.Error("last-reload timestamp moved backwards")
+	}
+}
+
 // TestHotReloadUnderLoad hammers the handler with 1000 concurrent
 // requests while the store is swapped repeatedly. Every response must
 // be a 2xx (a deliberate 429 shed would also be legal, but the queue

@@ -16,11 +16,14 @@
 //	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s] [-queue-wait 1s]
 //
 // Production behavior: requests beyond the worker pool queue up to
-// -queue-wait and are then shed with 429 + Retry-After; handler panics
-// cost one 500, never the process. SIGHUP re-opens the store file,
-// validates it, and atomically swaps it in with zero downtime (a bad
-// file is rejected and the current store keeps serving). The daemon
-// shuts down gracefully on SIGINT/SIGTERM.
+// -queue-wait and are then shed with 429 + Retry-After (the hint is
+// -queue-wait rounded up to whole seconds); handler panics cost one
+// 500, never the process. SIGHUP re-opens the store file, validates
+// it, and atomically swaps it in with zero downtime (a bad file is
+// rejected and the current store keeps serving); the store generation
+// counter and last-reload timestamp under offnetd.store in /debug/vars
+// confirm a reload actually landed. The daemon shuts down gracefully
+// on SIGINT/SIGTERM.
 package main
 
 import (

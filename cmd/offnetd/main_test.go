@@ -145,7 +145,7 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("/debug/vars = %d", rec.Code)
 	}
 	body := rec.Body.String()
-	for _, want := range []string{"offnetd.requests", "offnetd.latency", "offnetd.store", `"footprint"`} {
+	for _, want := range []string{"offnetd.requests", "offnetd.latency", "offnetd.store", `"footprint"`, `"generation"`, `"last_reload"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/debug/vars missing %s", want)
 		}

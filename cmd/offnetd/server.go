@@ -25,11 +25,14 @@ import (
 // other shared mutable state is the atomic metrics and the worker
 // semaphore, so any number of requests can run concurrently.
 type server struct {
-	store     atomic.Pointer[footstore.Store]
-	sem       chan struct{} // bounded worker pool: one token per in-flight request
-	queueWait time.Duration // how long a request may queue for a worker before being shed
-	metrics   *metrics
-	mux       *http.ServeMux
+	store      atomic.Pointer[footstore.Store]
+	sem        chan struct{} // bounded worker pool: one token per in-flight request
+	queueWait  time.Duration // how long a request may queue for a worker before being shed
+	retryAfter string        // Retry-After seconds on a shed, derived from queueWait
+	generation atomic.Uint64 // bumped on every store swap; starts at 1
+	lastReload atomic.Int64  // unix nanos of the last swap (or initial load)
+	metrics    *metrics
+	mux        *http.ServeMux
 }
 
 // storeHandler is a data endpoint: it receives the store version pinned
@@ -52,11 +55,14 @@ func newServer(st *footstore.Store, workers int, queueWait time.Duration) *serve
 		queueWait = time.Second
 	}
 	s := &server{
-		sem:       make(chan struct{}, workers),
-		queueWait: queueWait,
-		metrics:   newMetrics(),
+		sem:        make(chan struct{}, workers),
+		queueWait:  queueWait,
+		retryAfter: retryAfterSeconds(queueWait),
+		metrics:    newMetrics(),
 	}
 	s.store.Store(st)
+	s.generation.Store(1)
+	s.lastReload.Store(time.Now().UnixNano())
 	publishMetrics(s.metrics, s)
 
 	mux := http.NewServeMux()
@@ -74,8 +80,26 @@ func newServer(st *footstore.Store, workers int, queueWait time.Duration) *serve
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Reload atomically swaps the served store. In-flight requests finish
-// on the version they pinned; new requests see the new store.
-func (s *server) Reload(st *footstore.Store) { s.store.Store(st) }
+// on the version they pinned; new requests see the new store. The store
+// generation and reload timestamp in /debug/vars move with the swap, so
+// an operator can confirm a SIGHUP actually landed.
+func (s *server) Reload(st *footstore.Store) {
+	s.store.Store(st)
+	s.generation.Add(1)
+	s.lastReload.Store(time.Now().UnixNano())
+}
+
+// retryAfterSeconds renders the Retry-After hint for shed requests: a
+// client should stay away at least as long as a request may queue, so
+// the hint is queueWait rounded up to whole seconds (minimum 1 — the
+// header's granularity).
+func retryAfterSeconds(queueWait time.Duration) string {
+	secs := int64((queueWait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 // wrap applies panic recovery, the worker bound with queue-deadline
 // load shedding, the per-request store pin, and per-endpoint request
@@ -102,7 +126,7 @@ func (s *server) wrap(name string, h storeHandler) http.HandlerFunc {
 				t.Stop()
 			case <-t.C:
 				s.metrics.requests.Add("shed", 1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter)
 				writeError(w, http.StatusTooManyRequests, "server overloaded, request shed")
 				return
 			case <-r.Context().Done():
@@ -348,6 +372,12 @@ func publishMetrics(m *metrics, s *server) {
 			}
 			return out
 		}))
-		expvar.Publish("offnetd.store", expvar.Func(func() any { return s.store.Load().Stats() }))
+		expvar.Publish("offnetd.store", expvar.Func(func() any {
+			return map[string]any{
+				"stats":       s.store.Load().Stats(),
+				"generation":  s.generation.Load(),
+				"last_reload": time.Unix(0, s.lastReload.Load()).UTC().Format(time.RFC3339),
+			}
+		}))
 	})
 }

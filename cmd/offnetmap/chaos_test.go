@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -87,7 +88,7 @@ func TestChaosDegradedGrowthRun(t *testing.T) {
 
 	basePath := filepath.Join(t.TempDir(), "base.fst")
 	var baseOut strings.Builder
-	if err := run([]string{"-corpus", dir, "-growth", "-store", basePath}, &baseOut); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-growth", "-store", basePath}, &baseOut); err != nil {
 		t.Fatalf("baseline run: %v\n%s", err, baseOut.String())
 	}
 
@@ -99,7 +100,7 @@ func TestChaosDegradedGrowthRun(t *testing.T) {
 
 	corrPath := filepath.Join(t.TempDir(), "corr.fst")
 	var corrOut strings.Builder
-	if err := run([]string{"-corpus", dir, "-growth", "-store", corrPath}, &corrOut); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-growth", "-store", corrPath}, &corrOut); err != nil {
 		t.Fatalf("degraded run aborted instead of completing: %v\n%s", err, corrOut.String())
 	}
 	if !strings.Contains(corrOut.String(), "skipped") {
@@ -108,7 +109,7 @@ func TestChaosDegradedGrowthRun(t *testing.T) {
 
 	// Strict mode must refuse the same corpus.
 	var strictOut strings.Builder
-	if err := run([]string{"-corpus", dir, "-growth", "-tolerant=false"}, &strictOut); err == nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-growth", "-tolerant=false"}, &strictOut); err == nil {
 		t.Error("strict run accepted the corrupted corpus")
 	}
 

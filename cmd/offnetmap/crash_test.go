@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"offnetscope/internal/rng"
+)
+
+// The crash-equivalence suite runs offnetmap as a real subprocess and
+// kills it at seeded points, so SIGKILL lands mid-run exactly as an
+// OOM-kill or power loss would. The test binary doubles as the CLI via
+// the helper-process pattern below.
+
+const crashHelperEnv = "OFFNETMAP_CRASH_HELPER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashHelperEnv) == "1" {
+		// Behave exactly like cmd/offnetmap's main(), signal handling
+		// included, so SIGINT exercises the final-checkpoint flush.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err := run(ctx, os.Args[1:], os.Stdout)
+		stop()
+		if err != nil && !errors.Is(err, flag.ErrHelp) && !isQuiet(err) {
+			fmt.Fprintln(os.Stderr, "offnetmap:", err)
+		}
+		os.Exit(exitStatus(err))
+	}
+	os.Exit(m.Run())
+}
+
+// helperResult is one subprocess invocation's outcome.
+type helperResult struct {
+	code        int
+	out         string
+	interrupted bool // we signalled it and it did not complete
+}
+
+// runHelper execs the test binary as offnetmap, optionally signalling
+// it after killAfter.
+func runHelper(t *testing.T, killAfter time.Duration, sig syscall.Signal, args ...string) helperResult {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	var timer <-chan time.Time
+	if killAfter > 0 {
+		timer = time.After(killAfter)
+	}
+	signalled := false
+	deadline := time.After(5 * time.Minute)
+	for {
+		select {
+		case werr := <-done:
+			code := 0
+			var ee *exec.ExitError
+			if errors.As(werr, &ee) {
+				code = ee.ExitCode()
+			} else if werr != nil {
+				t.Fatalf("waiting for helper: %v", werr)
+			}
+			// Completion means a zero/reduced-coverage exit that the
+			// signal (if any) did not preempt.
+			completed := code == exitOK || code == exitReducedCoverage
+			return helperResult{code: code, out: buf.String(), interrupted: signalled && !completed}
+		case <-timer:
+			timer = nil
+			signalled = true
+			cmd.Process.Signal(sig)
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("helper wedged; output so far:\n%s", buf.String())
+		}
+	}
+}
+
+// crashResumeScenario is the tentpole proof: an uninterrupted in-process
+// baseline vs a subprocess run killed at seeded points and resumed until
+// completion — the two stores must be byte-identical.
+func crashResumeScenario(t *testing.T, corpusDir string) (ckDir string) {
+	t.Helper()
+	work := t.TempDir()
+	basePath := filepath.Join(work, "base.fst")
+	crashPath := filepath.Join(work, "crash.fst")
+	ckDir = filepath.Join(work, "ck")
+
+	var baseOut strings.Builder
+	if err := run(context.Background(), []string{"-corpus", corpusDir, "-growth", "-store", basePath}, &baseOut); err != nil && exitStatus(err) != exitReducedCoverage {
+		t.Fatalf("baseline run: %v\n%s", err, baseOut.String())
+	}
+
+	args := []string{"-corpus", corpusDir, "-growth", "-store", crashPath, "-checkpoint", ckDir, "-resume"}
+	g := rng.New(0xdeadc0de).Fork("crash")
+	// SIGKILL is the crash; every third interruption is a SIGINT so the
+	// graceful final-checkpoint flush is exercised too.
+	delay := 1200 * time.Millisecond
+	interruptions, completed := 0, false
+	for attempt := 0; attempt < 8; attempt++ {
+		sig := syscall.SIGKILL
+		if attempt%3 == 2 {
+			sig = syscall.SIGINT
+		}
+		res := runHelper(t, delay, sig, args...)
+		if !res.interrupted {
+			if res.code != exitOK && res.code != exitReducedCoverage {
+				t.Fatalf("run exited %d:\n%s", res.code, res.out)
+			}
+			completed = true
+			break
+		}
+		if sig == syscall.SIGINT && res.code != exitFailure {
+			t.Errorf("SIGINT exit code = %d, want %d; output:\n%s", res.code, exitFailure, res.out)
+		}
+		interruptions++
+		delay += 600*time.Millisecond + time.Duration(g.Float64()*float64(800*time.Millisecond))
+	}
+	if !completed {
+		res := runHelper(t, 0, 0, args...)
+		if res.code != exitOK && res.code != exitReducedCoverage {
+			t.Fatalf("final uninterrupted run exited %d:\n%s", res.code, res.out)
+		}
+		if !strings.Contains(res.out, "resume: reused") {
+			t.Errorf("resumed run reloaded no checkpoints:\n%s", res.out)
+		}
+	}
+	t.Logf("run interrupted %d time(s) before completing", interruptions)
+
+	base, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := os.ReadFile(crashPath)
+	if err != nil {
+		t.Fatalf("interrupted+resumed run never wrote its store: %v", err)
+	}
+	if !bytes.Equal(base, crash) {
+		t.Fatalf("resumed store differs from uninterrupted baseline (%d vs %d bytes)", len(crash), len(base))
+	}
+	return ckDir
+}
+
+func TestCrashResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/resume e2e is not -short")
+	}
+	corpusDir := t.TempDir()
+	if err := worldgenEquivalent(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	ckDir := crashResumeScenario(t, corpusDir)
+
+	// A stale manifest must be rejected, not silently mixed in: mutate
+	// the corpus and resume against the old checkpoints.
+	if err := os.WriteFile(filepath.Join(corpusDir, "extra.txt"), []byte("new corpus content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := runHelper(t, 0, 0, "-corpus", corpusDir, "-growth", "-checkpoint", ckDir, "-resume")
+	if res.code != exitFailure {
+		t.Fatalf("stale-manifest resume exited %d, want %d:\n%s", res.code, exitFailure, res.out)
+	}
+	if !strings.Contains(res.out, "manifest") {
+		t.Errorf("stale-manifest rejection message unclear:\n%s", res.out)
+	}
+}
+
+func TestCrashResumeEquivalenceUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/resume e2e is not -short")
+	}
+	corpusDir := t.TempDir()
+	if err := worldgenEquivalent(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	if n := corruptCorpus(t, corpusDir, 0xc0ffee, 0.01); n == 0 {
+		t.Fatal("corruption pass touched no lines")
+	}
+	crashResumeScenario(t, corpusDir)
+}
+
+// TestGrowthJobsByteIdentical pins the parallel runner's determinism:
+// worker count must never leak into the output.
+func TestGrowthJobsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the growth study twice")
+	}
+	corpusDir := t.TempDir()
+	if err := worldgenEquivalent(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	stores := make([][]byte, 2)
+	outs := make([]string, 2)
+	for i, jobs := range []string{"1", "4"} {
+		path := filepath.Join(t.TempDir(), "out.fst")
+		var out strings.Builder
+		if err := run(context.Background(), []string{"-corpus", corpusDir, "-growth", "-jobs", jobs, "-store", path}, &out); err != nil {
+			t.Fatalf("-jobs %s: %v\n%s", jobs, err, out.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The report embeds the (per-iteration temp) store path; drop
+		// that line so the comparison covers the series table itself.
+		var lines []string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if !strings.HasPrefix(l, "wrote store ") {
+				lines = append(lines, l)
+			}
+		}
+		stores[i], outs[i] = raw, strings.Join(lines, "\n")
+	}
+	if !bytes.Equal(stores[0], stores[1]) {
+		t.Fatalf("-jobs 4 store differs from -jobs 1 (%d vs %d bytes)", len(stores[1]), len(stores[0]))
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("-jobs 4 report differs from -jobs 1:\n--- jobs 1 ---\n%s--- jobs 4 ---\n%s", outs[0], outs[1])
+	}
+}

@@ -7,6 +7,8 @@
 //	offnetmap -corpus ./data [-vendor rapid7] [-snapshot 2021-04] [-certs-only] [-list google]
 //	offnetmap -corpus ./data -growth            # Fig-3-style series from disk
 //	offnetmap -corpus ./data -growth -store out.fst   # also freeze a queryable store for offnetd
+//	offnetmap -corpus ./data -growth -checkpoint ./ck -jobs 4   # parallel, crash-safe
+//	offnetmap -corpus ./data -growth -checkpoint ./ck -resume   # continue after a crash
 //
 // Real vendor corpuses are messy (§5: loss, truncation, uneven
 // quality), so reads are tolerant by default: malformed records are
@@ -15,9 +17,19 @@
 // dropped — the run completes on the remaining months and marks the
 // reduced coverage in the report. -tolerant=false restores strict
 // fail-on-first-error reads.
+//
+// Long -growth runs are themselves crash-safe with -checkpoint: every
+// completed snapshot is persisted atomically, SIGINT/SIGTERM flushes a
+// final checkpoint, and -resume picks up where the run stopped —
+// producing byte-identical output to an uninterrupted run.
+//
+// Exit codes: 0 success; 1 failure; 2 usage error; 3 the -growth run
+// completed but with reduced coverage (dropped vendor-months or
+// snapshots), so cron/CI can detect silent degradation.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -26,9 +38,13 @@ import (
 	"io/fs"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"offnetscope/internal/astopo"
 	"offnetscope/internal/bgpsim"
@@ -36,6 +52,8 @@ import (
 	"offnetscope/internal/corpus"
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
+	"offnetscope/internal/resilience"
+	"offnetscope/internal/runstate"
 	"offnetscope/internal/timeline"
 	"offnetscope/internal/worldsim"
 )
@@ -43,12 +61,54 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("offnetmap: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil && !errors.Is(err, flag.ErrHelp) && !isQuiet(err) {
+		log.Print(err)
 	}
+	os.Exit(exitStatus(err))
 }
 
-func run(args []string, stdout io.Writer) error {
+// Process exit codes, documented in -h output.
+const (
+	exitOK              = 0
+	exitFailure         = 1
+	exitUsage           = 2
+	exitReducedCoverage = 3
+)
+
+// exitError carries a specific process exit code out of run(). quiet
+// means the message was already printed (e.g. by the flag package).
+type exitError struct {
+	code  int
+	err   error
+	quiet bool
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+func isQuiet(err error) bool {
+	var ee *exitError
+	return errors.As(err, &ee) && ee.quiet
+}
+
+// exitStatus maps run()'s error to the process exit code.
+func exitStatus(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return exitOK
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return exitFailure
+}
+
+func usageError(err error) error { return &exitError{code: exitUsage, err: err} }
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("offnetmap", flag.ContinueOnError)
 	dir := fs.String("corpus", "", "corpus directory written by worldgen (required)")
 	vendor := fs.String("vendor", "rapid7", "corpus vendor to analyse")
@@ -59,12 +119,39 @@ func run(args []string, stdout io.Writer) error {
 	storePath := fs.String("store", "", "freeze the inferred footprints into a footstore file (serve it with offnetd)")
 	tolerant := fs.Bool("tolerant", true, "skip malformed corpus records within -max-bad; in -growth, drop corrupt vendor-months instead of aborting")
 	maxBad := fs.Float64("max-bad", 0.05, "per-file error budget: max fraction of malformed records a tolerant read accepts")
+	checkpoint := fs.String("checkpoint", "", "with -growth: persist each completed snapshot to this directory (crash-safe)")
+	resume := fs.Bool("resume", false, "with -checkpoint: reload intact checkpoints instead of recomputing (manifest must match)")
+	jobs := fs.Int("jobs", 1, "with -growth: parallel per-snapshot inference workers (output is identical at any setting)")
+	snapTimeout := fs.Duration("snapshot-timeout", 30*time.Minute, "with -growth: per-snapshot watchdog deadline; a stuck snapshot is retried then dropped (0 disables)")
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "usage: offnetmap -corpus DIR [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(out, "\nexit codes:\n"+
+			"  %d  success\n"+
+			"  %d  failure\n"+
+			"  %d  usage error\n"+
+			"  %d  -growth completed with reduced coverage (dropped vendor-months or snapshots)\n",
+			exitOK, exitFailure, exitUsage, exitReducedCoverage)
+	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &exitError{code: exitUsage, err: err, quiet: true}
 	}
 	if *dir == "" {
 		fs.Usage()
-		return fmt.Errorf("-corpus is required")
+		return usageError(fmt.Errorf("-corpus is required"))
+	}
+	if *checkpoint != "" && !*growth {
+		return usageError(fmt.Errorf("-checkpoint only applies to -growth runs"))
+	}
+	if *resume && *checkpoint == "" {
+		return usageError(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *jobs < 1 {
+		return usageError(fmt.Errorf("-jobs must be at least 1"))
 	}
 	opts := corpus.ReadOptions{Tolerant: *tolerant, MaxBadFraction: *maxBad}
 
@@ -74,7 +161,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *growth {
-		sr, err := runGrowth(stdout, pipeline, *dir, corpus.Vendor(*vendor), opts)
+		gopt := growthOptions{
+			checkpoint: *checkpoint,
+			resume:     *resume,
+			jobs:       *jobs,
+			timeout:    *snapTimeout,
+		}
+		sr, droppedMonths, err := runGrowth(ctx, stdout, pipeline, *dir, corpus.Vendor(*vendor), opts, gopt)
 		if err != nil {
 			return err
 		}
@@ -87,7 +180,13 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			return saveStore(stdout, st, *storePath)
+			if err := saveStore(stdout, st, *storePath); err != nil {
+				return err
+			}
+		}
+		if droppedMonths > 0 {
+			return &exitError{code: exitReducedCoverage,
+				err: fmt.Errorf("run completed with reduced coverage (%d snapshot(s) dropped)", droppedMonths)}
 		}
 		return nil
 	}
@@ -171,9 +270,15 @@ func pipelineFromManifest(dir string, certsOnly bool) (*core.Pipeline, error) {
 			return nil, fmt.Errorf("parsing as-org.txt: %w", perr)
 		}
 		p.Orgs = orgs
+		// The cache is shared across -jobs workers; the build is
+		// idempotent, so losing a race just rebuilds the same mapper.
+		var mu sync.Mutex
 		cache := map[timeline.Snapshot]core.IPMapper{}
 		p.Mapper = func(s timeline.Snapshot) core.IPMapper {
-			if m, ok := cache[s]; ok {
+			mu.Lock()
+			m, ok := cache[s]
+			mu.Unlock()
+			if ok {
 				return m
 			}
 			var ribs []*bgpsim.RIB
@@ -188,13 +293,14 @@ func pipelineFromManifest(dir string, certsOnly bool) (*core.Pipeline, error) {
 					ribs = append(ribs, rib)
 				}
 			}
-			var m core.IPMapper
 			if len(ribs) > 0 {
 				m = bgpsim.BuildIP2AS(s, ribs...)
 			} else {
 				m = w.IP2AS(s) // months outside the dataset range
 			}
+			mu.Lock()
 			cache[s] = m
+			mu.Unlock()
 			return m
 		}
 	}
@@ -256,35 +362,126 @@ func reportSkips(stdout io.Writer, vendor string, s timeline.Snapshot, stats *co
 	}
 }
 
-// runGrowth replays the whole on-disk corpus through the study runner.
-// In tolerant mode a vendor-month that is corrupt beyond the error
-// budget is dropped from the series and the reduced coverage is
-// reported; in strict mode the first read error aborts the run.
-func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor, opts corpus.ReadOptions) (*core.StudyResult, error) {
-	var dropped []string
-	var readErr error
-	sr := pipeline.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot {
+type growthOptions struct {
+	checkpoint string
+	resume     bool
+	jobs       int
+	timeout    time.Duration
+}
+
+// runGrowth replays the whole on-disk corpus through the study runner:
+// per-snapshot inference on a -jobs worker pool, a sequential envelope
+// fold, and (with -checkpoint) an atomically persisted checkpoint after
+// every completed snapshot. In tolerant mode a vendor-month corrupt
+// beyond the error budget — or a snapshot that stays stuck past the
+// watchdog through its retries — is dropped from the series and the
+// reduced coverage reported; in strict mode the first read error aborts
+// the run. Returns the study plus the number of dropped snapshots.
+func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor, opts corpus.ReadOptions, gopt growthOptions) (*core.StudyResult, int, error) {
+	var ckDir *runstate.Dir
+	if gopt.checkpoint != "" {
+		fp, err := runstate.CorpusFingerprint(dir)
+		if err != nil {
+			return nil, 0, err
+		}
+		m := runstate.Manifest{Corpus: fp, Options: runstate.OptionsHash(pipeline.Opts), Vendor: string(vendor)}
+		if gopt.resume {
+			ckDir, err = runstate.Resume(gopt.checkpoint, m)
+		} else {
+			ckDir, err = runstate.Create(gopt.checkpoint, m)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// Workers read concurrently; per-snapshot stats are collected here
+	// and printed after the run in snapshot order, so the report stays
+	// deterministic at any -jobs setting.
+	var mu sync.Mutex
+	statsBy := make(map[timeline.Snapshot]*corpus.ReadStats)
+	var strictErr error
+	source := func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
 		snap, stats, err := corpus.ReadWithStats(dir, vendor, s, opts)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
-				return nil // months the corpus doesn't cover
+				return nil, nil // months the corpus doesn't cover
 			}
 			if !opts.Tolerant {
-				if readErr == nil {
-					readErr = fmt.Errorf("reading corpus %s/%s: %w", vendor, s.Label(), err)
+				mu.Lock()
+				if strictErr == nil {
+					strictErr = fmt.Errorf("reading corpus %s/%s: %w", vendor, s.Label(), err)
 				}
-				return nil
+				mu.Unlock()
+				return nil, resilience.Permanent(err)
+			}
+			if errors.Is(err, corpus.ErrBudgetExceeded) {
+				// Deterministic corruption: retrying re-reads the same
+				// bytes, so fail the snapshot immediately.
+				return nil, resilience.Permanent(err)
+			}
+			return nil, err
+		}
+		if stats != nil {
+			mu.Lock()
+			statsBy[s] = stats
+			mu.Unlock()
+		}
+		return snap, nil
+	}
+
+	var dropped []string
+	cfg := core.StudyConfig{
+		Jobs:            gopt.jobs,
+		SnapshotTimeout: gopt.timeout,
+		OnDrop: func(s timeline.Snapshot, err error) {
+			mu.Lock()
+			aborting := strictErr != nil
+			mu.Unlock()
+			if aborting {
+				return
+			}
+			if resilience.IsPermanent(err) {
+				if inner := errors.Unwrap(err); inner != nil {
+					err = inner
+				}
 			}
 			fmt.Fprintf(stdout, "warning: dropping corpus %s/%s: %v\n", vendor, s.Label(), err)
 			dropped = append(dropped, s.Label())
-			return nil
-		}
-		reportSkips(stdout, string(vendor), s, stats)
-		return snap
-	})
-	if readErr != nil {
-		return nil, readErr
+		},
 	}
+	restoredN := 0
+	if ckDir != nil {
+		cfg.Restore = func(s timeline.Snapshot) *core.CheckpointData {
+			ck := ckDir.Load(s)
+			if ck != nil {
+				restoredN++
+			}
+			return ck
+		}
+		cfg.Persist = ckDir.Save
+	}
+
+	sr, runErr := pipeline.RunStudyConfig(ctx, source, cfg)
+	if restoredN > 0 {
+		fmt.Fprintf(stdout, "resume: reused %d checkpointed snapshot(s) from %s\n", restoredN, gopt.checkpoint)
+	}
+	if strictErr != nil {
+		return nil, 0, strictErr
+	}
+	for _, s := range timeline.All() {
+		reportSkips(stdout, string(vendor), s, statsBy[s])
+	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			if ckDir != nil {
+				return nil, 0, fmt.Errorf("interrupted; completed snapshots are checkpointed in %s — rerun with -resume to continue", gopt.checkpoint)
+			}
+			return nil, 0, fmt.Errorf("interrupted (no -checkpoint directory, progress lost)")
+		}
+		return nil, 0, runErr
+	}
+
 	fmt.Fprintf(stdout, "%-8s %7s %9s %7s %8s %8s %8s\n",
 		"snap", "Google", "Facebook", "Akamai", "NF-init", "NF-exp", "NF-http")
 	g := sr.ConfirmedSeries(hg.Google)
@@ -302,5 +499,5 @@ func runGrowth(stdout io.Writer, pipeline *core.Pipeline, dir string, vendor cor
 		fmt.Fprintf(stdout, "reduced coverage: %d month(s) dropped for corruption: %s\n",
 			len(dropped), strings.Join(dropped, " "))
 	}
-	return sr, nil
+	return sr, len(dropped), nil
 }

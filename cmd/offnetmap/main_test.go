@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -27,7 +28,7 @@ func TestOffnetmapOverGeneratedCorpus(t *testing.T) {
 	}
 
 	var out strings.Builder
-	err := run([]string{"-corpus", dir, "-snapshot", "2021-04", "-list", "google"}, &out)
+	err := run(context.Background(), []string{"-corpus", dir, "-snapshot", "2021-04", "-list", "google"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestOffnetmapOverGeneratedCorpus(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"-corpus", dir, "-growth"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-growth"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "2021-04") {
@@ -47,16 +48,16 @@ func TestOffnetmapOverGeneratedCorpus(t *testing.T) {
 	}
 
 	// Error paths.
-	if err := run([]string{"-corpus", dir, "-snapshot", "1999-01"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-snapshot", "1999-01"}, &out); err == nil {
 		t.Error("invalid snapshot should fail")
 	}
-	if err := run([]string{"-corpus", dir, "-list", "nosuchhg"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-list", "nosuchhg"}, &out); err == nil {
 		t.Error("unknown hypergiant should fail")
 	}
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("missing -corpus should fail")
 	}
-	if err := run([]string{"-corpus", t.TempDir()}, &out); err == nil {
+	if err := run(context.Background(), []string{"-corpus", t.TempDir()}, &out); err == nil {
 		t.Error("missing manifest should fail")
 	}
 }
@@ -101,7 +102,7 @@ func TestOffnetmapStoreFlag(t *testing.T) {
 
 	growthPath := filepath.Join(dir, "growth.fst")
 	var out strings.Builder
-	if err := run([]string{"-corpus", dir, "-growth", "-store", growthPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-growth", "-store", growthPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "wrote store") {
@@ -126,7 +127,7 @@ func TestOffnetmapStoreFlag(t *testing.T) {
 	// shared snapshot.
 	singlePath := filepath.Join(dir, "single.fst")
 	out.Reset()
-	if err := run([]string{"-corpus", dir, "-snapshot", "2021-04", "-store", singlePath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-snapshot", "2021-04", "-store", singlePath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	single, err := footstore.Open(singlePath)
@@ -151,7 +152,7 @@ func TestOffnetmapWithDatasetFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	var plain strings.Builder
-	if err := run([]string{"-corpus", dir, "-snapshot", "2021-04"}, &plain); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-snapshot", "2021-04"}, &plain); err != nil {
 		t.Fatal(err)
 	}
 
@@ -160,7 +161,7 @@ func TestOffnetmapWithDatasetFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	var withDS strings.Builder
-	if err := run([]string{"-corpus", dir, "-snapshot", "2021-04"}, &withDS); err != nil {
+	if err := run(context.Background(), []string{"-corpus", dir, "-snapshot", "2021-04"}, &withDS); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != withDS.String() {

@@ -329,10 +329,3 @@ func TestStudySeriesShapes(t *testing.T) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/resilience"
+	"offnetscope/internal/timeline"
+)
+
+// StudySource supplies the corpus for one study month. Returning
+// (nil, nil) means the vendor has no data for that month (e.g. Censys
+// before 2019-10); an error marks the month damaged — it is retried per
+// the study's policy and then dropped. Sources may be called from
+// several worker goroutines at once when StudyConfig.Jobs > 1.
+type StudySource func(ctx context.Context, s timeline.Snapshot) (*corpus.Snapshot, error)
+
+// StudyConfig tunes the longitudinal runner. The zero value is the
+// classic sequential in-memory run.
+type StudyConfig struct {
+	// Jobs bounds the worker pool running per-snapshot inference;
+	// zero or one means sequential. The output is identical at any
+	// setting — only the cross-snapshot envelope fold is order-
+	// sensitive, and it always runs sequentially in snapshot order.
+	Jobs int
+
+	// SnapshotTimeout is the per-attempt watchdog deadline covering one
+	// snapshot's read plus inference; zero disables it. An attempt that
+	// overruns counts as failed and is retried, then dropped.
+	SnapshotTimeout time.Duration
+
+	// Retry is the per-snapshot retry policy (zero value: resilience
+	// defaults). Unless Classify is set, an attempt is retried whenever
+	// its error is not marked resilience.Permanent and the run itself
+	// has not been cancelled — so a watchdog overrun is retryable but a
+	// SIGINT is not.
+	Retry resilience.Policy
+
+	// Restore, when non-nil, is consulted once per snapshot before any
+	// work is scheduled; a non-nil CheckpointData skips both inference
+	// and fold for that snapshot, replaying the stored envelope instead.
+	Restore func(timeline.Snapshot) *CheckpointData
+
+	// Persist, when non-nil, is called in strict snapshot order after
+	// the envelope fold of each freshly computed snapshot. A Persist
+	// error aborts the run.
+	Persist func(timeline.Snapshot, *CheckpointData) error
+
+	// OnDrop is told about each snapshot dropped after its retry budget
+	// (reduced coverage). Called from the fold goroutine, in order.
+	OnDrop func(timeline.Snapshot, error)
+}
+
+// outcome is one worker's verdict on a snapshot: inf and err nil means
+// the source had no data.
+type outcome struct {
+	inf *SnapshotInference
+	err error
+}
+
+// RunStudyConfig executes the pipeline over every snapshot the source
+// can supply: per-snapshot inference runs on a bounded worker pool,
+// then the sequential envelope pass folds the Netflix memory in
+// snapshot order, checkpointing each completed snapshot via Persist.
+// On cancellation it folds (and persists) whatever already finished in
+// contiguous order, then returns the partial result with ctx's error —
+// so a resumed run restarts exactly where this one stopped.
+func (p *Pipeline) RunStudyConfig(ctx context.Context, source StudySource, cfg StudyConfig) (*StudyResult, error) {
+	n := timeline.Count()
+	out := &StudyResult{
+		Results:            make([]*Result, n),
+		NetflixInitial:     make([]int, n),
+		NetflixWithExpired: make([]int, n),
+		NetflixNonTLS:      make([]int, n),
+	}
+
+	restored := make([]*CheckpointData, n)
+	var pending []timeline.Snapshot
+	for _, s := range timeline.All() {
+		if cfg.Restore != nil {
+			restored[s] = cfg.Restore(s)
+		}
+		if restored[s] == nil {
+			pending = append(pending, s)
+		}
+	}
+
+	// Workers deliver into one single-use buffered slot per snapshot, so
+	// no send ever blocks and the fold can consume strictly in order.
+	slots := make([]chan outcome, n)
+	for _, s := range pending {
+		slots[s] = make(chan outcome, 1)
+	}
+
+	wctx, cancelWorkers := context.WithCancel(ctx)
+	defer cancelWorkers()
+	jobs := cfg.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(pending) {
+		jobs = len(pending)
+	}
+	var wg sync.WaitGroup
+	if len(pending) > 0 {
+		work := make(chan timeline.Snapshot)
+		for i := 0; i < jobs; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range work {
+					inf, err := p.inferOnce(wctx, source, s, cfg)
+					slots[s] <- outcome{inf: inf, err: err}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(work)
+			for _, s := range pending {
+				select {
+				case work <- s:
+				case <-wctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	env := newEnvelopeState()
+	var runErr error
+fold:
+	for _, s := range timeline.All() {
+		if ck := restored[s]; ck != nil {
+			out.Results[s] = ck.Result
+			out.setEnvelope(s, ck.Envelope)
+			env.replay(ck.MemDelta)
+			continue
+		}
+		var o outcome
+		select {
+		case o = <-slots[s]:
+		case <-ctx.Done():
+			// Final flush: a result that is already sitting in the slot
+			// still gets folded and persisted, so the next invocation
+			// resumes after it rather than redoing it.
+			select {
+			case o = <-slots[s]:
+			default:
+				runErr = ctx.Err()
+				break fold
+			}
+		}
+		if o.err != nil {
+			// A worker error after the run was cancelled is the
+			// cancellation propagating, not reduced coverage — the
+			// snapshot will simply be retried on resume.
+			if ctx.Err() != nil {
+				runErr = ctx.Err()
+				break fold
+			}
+			if cfg.OnDrop != nil {
+				cfg.OnDrop(s, o.err)
+			}
+			continue
+		}
+		if o.inf == nil {
+			continue // month not covered by this vendor
+		}
+		vals, delta := env.fold(o.inf)
+		out.Results[s] = o.inf.Result
+		out.setEnvelope(s, vals)
+		if cfg.Persist != nil {
+			if err := cfg.Persist(s, &CheckpointData{Result: o.inf.Result, Envelope: vals, MemDelta: delta}); err != nil {
+				runErr = fmt.Errorf("core: checkpointing %s: %w", s.Label(), err)
+				break fold
+			}
+		}
+	}
+	cancelWorkers()
+	wg.Wait()
+	return out, runErr
+}
+
+func (sr *StudyResult) setEnvelope(s timeline.Snapshot, v EnvelopeValues) {
+	sr.NetflixInitial[s] = v.Initial
+	sr.NetflixWithExpired[s] = v.WithExpired
+	sr.NetflixNonTLS[s] = v.NonTLS
+}
+
+// inferOnce runs one snapshot's read + inference under the watchdog
+// deadline and the retry policy; the returned error means the snapshot
+// is dropped.
+func (p *Pipeline) inferOnce(ctx context.Context, source StudySource, s timeline.Snapshot, cfg StudyConfig) (*SnapshotInference, error) {
+	pol := cfg.Retry
+	if pol.Classify == nil {
+		// The per-attempt watchdog surfaces as context.DeadlineExceeded,
+		// which the default classifier would treat as the caller's own
+		// context ending; here only the run context ending is permanent.
+		pol.Classify = func(err error) bool {
+			return ctx.Err() == nil && !resilience.IsPermanent(err)
+		}
+	}
+	var inf *SnapshotInference
+	err := resilience.Retry(ctx, pol, func(rctx context.Context) error {
+		actx := rctx
+		if cfg.SnapshotTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(rctx, cfg.SnapshotTimeout)
+			defer cancel()
+		}
+		snap, err := source(actx, s)
+		if err != nil {
+			return err
+		}
+		if snap == nil {
+			inf = nil
+			return nil
+		}
+		res := p.InferSnapshot(snap)
+		// Watchdog: an attempt that overran its deadline failed even if
+		// it limped to a result — a stuck snapshot must not wedge the run.
+		if aerr := actx.Err(); aerr != nil {
+			return aerr
+		}
+		inf = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inf, nil
+}

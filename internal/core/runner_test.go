@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/resilience"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+)
+
+// studyTail pre-scans the last n snapshots once so the runner tests can
+// share a cheap, deterministic source.
+func studyTail(t testing.TB, n int) map[timeline.Snapshot]*corpus.Snapshot {
+	t.Helper()
+	snaps := make(map[timeline.Snapshot]*corpus.Snapshot, n)
+	all := timeline.All()
+	for _, s := range all[len(all)-n:] {
+		snaps[s] = scanners.Scan(testWorld, scanners.Rapid7Profile(), s)
+	}
+	return snaps
+}
+
+func mapSource(snaps map[timeline.Snapshot]*corpus.Snapshot) StudySource {
+	return func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+		return snaps[s], nil
+	}
+}
+
+func sameStudy(t *testing.T, want, got *StudyResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.NetflixInitial, got.NetflixInitial) ||
+		!reflect.DeepEqual(want.NetflixWithExpired, got.NetflixWithExpired) ||
+		!reflect.DeepEqual(want.NetflixNonTLS, got.NetflixNonTLS) {
+		t.Fatalf("Netflix envelope series diverge")
+	}
+	for i := range want.Results {
+		a, b := want.Results[i], got.Results[i]
+		if (a == nil) != (b == nil) {
+			t.Fatalf("snapshot %d: presence differs (%v vs %v)", i, a != nil, b != nil)
+		}
+		if a == nil {
+			continue
+		}
+		for id, ha := range a.PerHG {
+			if !reflect.DeepEqual(ha.ConfirmedASes, b.PerHG[id].ConfirmedASes) {
+				t.Fatalf("snapshot %d: %v confirmed sets differ", i, id)
+			}
+		}
+	}
+}
+
+func TestRunStudyConfigParallelMatchesSequential(t *testing.T) {
+	snaps := studyTail(t, 4)
+	p := testPipeline(DefaultOptions())
+
+	seq, err := p.RunStudyConfig(context.Background(), mapSource(snaps), StudyConfig{Jobs: 1})
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	par, err := p.RunStudyConfig(context.Background(), mapSource(snaps), StudyConfig{Jobs: 4})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	sameStudy(t, seq, par)
+
+	// And the zero-config front door agrees with both.
+	plain := p.RunStudy(func(s timeline.Snapshot) *corpus.Snapshot { return snaps[s] })
+	sameStudy(t, seq, plain)
+}
+
+func TestRunStudyConfigRestoreSkipsRecompute(t *testing.T) {
+	snaps := studyTail(t, 3)
+	p := testPipeline(DefaultOptions())
+
+	saved := make(map[timeline.Snapshot]*CheckpointData)
+	var persistOrder []timeline.Snapshot
+	full, err := p.RunStudyConfig(context.Background(), mapSource(snaps), StudyConfig{
+		Persist: func(s timeline.Snapshot, ck *CheckpointData) error {
+			saved[s] = ck
+			persistOrder = append(persistOrder, s)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	if len(saved) != len(snaps) {
+		t.Fatalf("persisted %d checkpoints, want %d", len(saved), len(snaps))
+	}
+	for i := 1; i < len(persistOrder); i++ {
+		if persistOrder[i] <= persistOrder[i-1] {
+			t.Fatalf("persist order not strictly increasing: %v", persistOrder)
+		}
+	}
+
+	// Resume with every checkpoint present: the source must never run.
+	resumed, err := p.RunStudyConfig(context.Background(),
+		func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			if snaps[s] != nil {
+				t.Errorf("source consulted for checkpointed snapshot %v", s)
+			}
+			return nil, nil
+		},
+		StudyConfig{Restore: func(s timeline.Snapshot) *CheckpointData { return saved[s] }})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	sameStudy(t, full, resumed)
+
+	// Resume with a hole: only the missing snapshot is recomputed, and
+	// the envelope still matches because the restored memory deltas
+	// replay in order.
+	hole := persistOrder[len(persistOrder)-1]
+	var recomputed []timeline.Snapshot
+	partial, err := p.RunStudyConfig(context.Background(),
+		func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			if snaps[s] != nil {
+				recomputed = append(recomputed, s)
+			}
+			return snaps[s], nil
+		},
+		StudyConfig{Restore: func(s timeline.Snapshot) *CheckpointData {
+			if s == hole {
+				return nil
+			}
+			return saved[s]
+		}})
+	if err != nil {
+		t.Fatalf("partial resume: %v", err)
+	}
+	if len(recomputed) != 1 || recomputed[0] != hole {
+		t.Fatalf("recomputed %v, want just %v", recomputed, hole)
+	}
+	sameStudy(t, full, partial)
+}
+
+func TestRunStudyConfigDropsFailedSnapshot(t *testing.T) {
+	snaps := studyTail(t, 3)
+	p := testPipeline(DefaultOptions())
+	var bad timeline.Snapshot
+	for s := range snaps {
+		if bad == 0 || s < bad {
+			bad = s
+		}
+	}
+
+	var dropped []timeline.Snapshot
+	sr, err := p.RunStudyConfig(context.Background(),
+		func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			if s == bad {
+				return nil, resilience.Permanent(errors.New("disk gone"))
+			}
+			return snaps[s], nil
+		},
+		StudyConfig{
+			OnDrop: func(s timeline.Snapshot, err error) { dropped = append(dropped, s) },
+		})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(dropped) != 1 || dropped[0] != bad {
+		t.Fatalf("dropped %v, want just %v", dropped, bad)
+	}
+	if sr.Results[bad] != nil {
+		t.Fatalf("dropped snapshot still has a result")
+	}
+	for s := range snaps {
+		if s != bad && sr.Results[s] == nil {
+			t.Errorf("healthy snapshot %v lost", s)
+		}
+	}
+}
+
+func TestRunStudyConfigRetriesTransient(t *testing.T) {
+	snaps := studyTail(t, 2)
+	p := testPipeline(DefaultOptions())
+	fails := make(map[timeline.Snapshot]int)
+
+	sr, err := p.RunStudyConfig(context.Background(),
+		func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			if fails[s] == 0 {
+				fails[s]++
+				return nil, errors.New("transient read glitch")
+			}
+			return snaps[s], nil
+		},
+		StudyConfig{
+			Retry: resilience.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+			OnDrop: func(s timeline.Snapshot, err error) {
+				t.Errorf("snapshot %v dropped despite retry budget: %v", s, err)
+			},
+		})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for s := range snaps {
+		if sr.Results[s] == nil {
+			t.Errorf("snapshot %v missing after transient failure + retry", s)
+		}
+	}
+}
+
+func TestRunStudyConfigWatchdogDropsStuckSnapshot(t *testing.T) {
+	p := testPipeline(DefaultOptions())
+	stuck := lastSnap
+
+	var dropped []timeline.Snapshot
+	sr, err := p.RunStudyConfig(context.Background(),
+		func(ctx context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			if s == stuck {
+				<-ctx.Done() // simulate a wedged read; the watchdog fires
+				return nil, ctx.Err()
+			}
+			return nil, nil
+		},
+		StudyConfig{
+			SnapshotTimeout: 20 * time.Millisecond,
+			Retry:           resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+			OnDrop:          func(s timeline.Snapshot, err error) { dropped = append(dropped, s) },
+		})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(dropped) != 1 || dropped[0] != stuck {
+		t.Fatalf("dropped %v, want just %v", dropped, stuck)
+	}
+	if sr.Results[stuck] != nil {
+		t.Fatalf("stuck snapshot produced a result")
+	}
+}
+
+func TestRunStudyConfigCancellation(t *testing.T) {
+	snaps := studyTail(t, 2)
+	p := testPipeline(DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := p.RunStudyConfig(ctx, mapSource(snaps), StudyConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}

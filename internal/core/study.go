@@ -1,10 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"offnetscope/internal/astopo"
 	"offnetscope/internal/corpus"
 	"offnetscope/internal/hg"
-	"offnetscope/internal/netmodel"
 	"offnetscope/internal/timeline"
 )
 
@@ -30,75 +31,15 @@ type StudyResult struct {
 
 // RunStudy executes the pipeline over every snapshot the source can
 // supply, maintaining the cross-snapshot state the Netflix envelope
-// needs.
+// needs. It is the simple sequential front of RunStudyConfig, kept for
+// in-memory callers (tests, examples, experiments) that need no
+// checkpointing, parallelism, or failure policy.
 func (p *Pipeline) RunStudy(source SnapshotSource) *StudyResult {
-	out := &StudyResult{
-		Results:            make([]*Result, timeline.Count()),
-		NetflixInitial:     make([]int, timeline.Count()),
-		NetflixWithExpired: make([]int, timeline.Count()),
-		NetflixNonTLS:      make([]int, timeline.Count()),
-	}
-	// memory maps IPs that ever served a confirmed (or expired)
-	// Netflix certificate to the ASes they mapped to at the time.
-	memory := make(map[netmodel.IP][]astopo.ASN)
-
-	for _, s := range timeline.All() {
-		snap := source(s)
-		if snap == nil {
-			continue
-		}
-		res := p.Run(snap)
-		out.Results[s] = res
-		nf := res.PerHG[hg.Netflix]
-
-		out.NetflixInitial[s] = len(nf.ConfirmedASes)
-
-		withExpired := make(map[astopo.ASN]struct{}, len(nf.ConfirmedASes)+len(nf.ExpiredASes))
-		for as := range nf.ConfirmedASes {
-			withExpired[as] = struct{}{}
-		}
-		for as := range nf.ExpiredASes {
-			withExpired[as] = struct{}{}
-		}
-		out.NetflixWithExpired[s] = len(withExpired)
-
-		// Non-TLS restoration: remembered Netflix IPs that no longer
-		// answer on 443 but still answer on 80 keep their AS counted.
-		certIPs := make(map[netmodel.IP]struct{}, len(snap.Certs))
-		for _, cr := range snap.Certs {
-			certIPs[cr.IP] = struct{}{}
-		}
-		restored := make(map[astopo.ASN]struct{}, len(withExpired))
-		for as := range withExpired {
-			restored[as] = struct{}{}
-		}
-		httpIdx := snap.HTTPHeadersByIP()
-		for ip, asns := range memory {
-			if _, onTLS := certIPs[ip]; onTLS {
-				continue
-			}
-			if _, onHTTP := httpIdx[ip]; !onHTTP {
-				continue
-			}
-			for _, as := range asns {
-				restored[as] = struct{}{}
-			}
-		}
-		out.NetflixNonTLS[s] = len(restored)
-
-		// Update the memory with this month's evidence.
-		mapper := p.Mapper(s)
-		remember := func(ips []netmodel.IP) {
-			for _, ip := range ips {
-				if _, ok := memory[ip]; !ok {
-					memory[ip] = mapper.Lookup(ip)
-				}
-			}
-		}
-		remember(nf.ConfirmedIPList)
-		remember(nf.ExpiredIPs)
-	}
-	return out
+	sr, _ := p.RunStudyConfig(context.Background(),
+		func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			return source(s), nil
+		}, StudyConfig{})
+	return sr
 }
 
 // ConfirmedSeries extracts one hypergiant's confirmed off-net AS counts

@@ -176,7 +176,8 @@ type ReadOptions struct {
 	Tolerant bool
 	// MaxBadFraction is the per-file error budget: the tolerant read
 	// fails with ErrBudgetExceeded once skipped records exceed this
-	// fraction of the records seen. Zero means 5%.
+	// fraction of the records seen — strictly exceed, so a file exactly
+	// at the budget still passes. Zero or negative means the 5% default.
 	MaxBadFraction float64
 }
 

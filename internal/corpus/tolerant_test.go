@@ -132,6 +132,60 @@ func TestTolerantReadEarlyAbort(t *testing.T) {
 	}
 }
 
+// TestTolerantBudgetBoundary pins the error-budget comparison: skipped
+// records must strictly exceed MaxBadFraction of the records seen, so a
+// file landing exactly on the budget still reads, and one more record
+// over fails it. Zero or negative MaxBadFraction means the 5% default.
+func TestTolerantBudgetBoundary(t *testing.T) {
+	decodeBad := func(b []byte) error {
+		if string(b) == "bad" {
+			return badRecord("json", errors.New("boundary"))
+		}
+		return nil
+	}
+	input := func(total, bad int) string {
+		var raw strings.Builder
+		for i := 0; i < total; i++ {
+			if i < bad {
+				raw.WriteString("bad\n")
+			} else {
+				raw.WriteString("ok\n")
+			}
+		}
+		return raw.String()
+	}
+
+	for _, tc := range []struct {
+		name     string
+		opts     ReadOptions
+		total    int
+		bad      int
+		overflow bool
+	}{
+		{"exactly at explicit budget", ReadOptions{Tolerant: true, MaxBadFraction: 0.05}, 100, 5, false},
+		{"one record over explicit budget", ReadOptions{Tolerant: true, MaxBadFraction: 0.05}, 100, 6, true},
+		{"zero budget means 5% default", ReadOptions{Tolerant: true}, 100, 5, false},
+		{"zero budget still enforces the default", ReadOptions{Tolerant: true}, 100, 6, true},
+		{"negative budget means 5% default", ReadOptions{Tolerant: true, MaxBadFraction: -1}, 100, 5, false},
+		{"negative budget still enforces the default", ReadOptions{Tolerant: true, MaxBadFraction: -1}, 100, 6, true},
+	} {
+		fs := &FileStats{Name: "boundary"}
+		err := decodeNDJSON(strings.NewReader(input(tc.total, tc.bad)), "boundary", tc.opts, fs, decodeBad)
+		if tc.overflow && !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("%s: err = %v, want ErrBudgetExceeded", tc.name, err)
+		}
+		if !tc.overflow {
+			if err != nil {
+				t.Errorf("%s: err = %v, want nil", tc.name, err)
+			}
+			if fs.Skipped != tc.bad || fs.Records != tc.total-tc.bad {
+				t.Errorf("%s: stats %d skipped/%d records, want %d/%d",
+					tc.name, fs.Skipped, fs.Records, tc.bad, tc.total-tc.bad)
+			}
+		}
+	}
+}
+
 // Tolerant mode must still refuse gzip-level damage: a truncated stream
 // has an unassessable remainder.
 func TestTolerantReadStillFailsTruncatedGzip(t *testing.T) {
