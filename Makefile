@@ -1,13 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race bench experiments corpus serve clean
+.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke experiments corpus serve clean
 
 all: build vet test
 
 # The full pre-merge gate: build, vet, unit tests, the race detector,
-# a short fuzz pass over every decoder, and the chaos/fault-injection
-# suite under race.
-ci: build vet test-short race fuzz-smoke chaos-race
+# a short fuzz pass over every decoder, the chaos/fault-injection
+# suite under race, the golden-regression suite, and one-iteration
+# benchmark smoke.
+ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke
 
 build:
 	go build ./...
@@ -37,18 +38,33 @@ fuzz-smoke:
 	go test -run=^$$ -fuzz=FuzzParsePrefix -fuzztime=$(FUZZTIME) ./internal/netmodel
 	go test -run=^$$ -fuzz=FuzzMatchDomain -fuzztime=$(FUZZTIME) ./internal/hg
 	go test -run=^$$ -fuzz=FuzzFromLabel -fuzztime=$(FUZZTIME) ./internal/timeline
+	go test -run=^$$ -fuzz=FuzzMetricsSnapshot -fuzztime=$(FUZZTIME) ./internal/obs
 
 # The fault-injection suite under the race detector: corrupted-corpus
 # ingestion, the kill/resume crash-equivalence suite, parallel-runner
 # determinism, hot reload under load, and the chaos reader itself.
 chaos-race:
-	go test -race ./internal/chaos ./internal/resilience ./internal/runstate
+	go test -race ./internal/chaos ./internal/resilience ./internal/runstate ./internal/obs
 	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe|TestCrashResume|TestGrowthJobs' ./internal/corpus ./cmd/offnetmap
 	go test -race -run 'TestRunStudyConfig' ./internal/core
 	go test -race -run 'TestHotReload|TestSIGHUP|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration' ./cmd/offnetd
 
+# The golden-regression suite: exact funnel metrics, growth series,
+# and report tables of the seeded study, sequential and parallel.
+# Refresh after an intentional methodology change with:
+#   go test ./internal/core -run TestGolden -update
+golden:
+	go test -run 'TestGolden' ./internal/core
+
+# Full benchmark pass over the paper experiments plus the per-stage
+# pipeline benchmarks, rendered to BENCH_pipeline.json for trend diffs.
 bench:
-	go test -bench=. -benchmem .
+	go test -bench=. -benchmem -run='^$$' . ./internal/core | go run ./cmd/benchjson -out BENCH_pipeline.json
+
+# One iteration of every benchmark — catches bit-rotted benchmark code
+# in CI without paying for a measurement run.
+bench-smoke:
+	go test -bench=. -benchtime=1x -benchmem -run='^$$' . ./internal/core
 
 # Regenerate every table/figure/validation at the default scale and
 # refresh the committed results (plus CSV exports for plotting).

@@ -1,0 +1,113 @@
+// Command benchjson turns `go test -bench` text output into a stable
+// JSON document for CI trend tracking. It tees: stdin passes through to
+// stdout unchanged (so the human-readable table still shows in the
+// terminal), while every benchmark result line is parsed and the sorted
+// set written to -out.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/core | benchjson -out BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLineRe matches one result line, e.g.
+//
+//	BenchmarkStageValidate-8   22   51234567 ns/op   9092360 B/op   164253 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped; the B/op and allocs/op columns
+// only appear under -benchmem.
+var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// contextKeys are the `go test` preamble lines worth keeping (machine
+// identification for comparing results across hosts).
+var contextKeys = []string{"goos", "goarch", "pkg", "cpu"}
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_pipeline.json", "file to write the parsed results to")
+	flag.Parse()
+	doc, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parse tees r to w while collecting benchmark lines. Duplicate names
+// (e.g. -count>1) keep the last observation.
+func parse(r io.Reader, w io.Writer) (*document, error) {
+	doc := &document{Context: map[string]string{}}
+	byName := map[string]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		if m := benchLineRe.FindStringSubmatch(line); m != nil {
+			res := result{Name: m[1]}
+			res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			byName[res.Name] = res
+			continue
+		}
+		for _, key := range contextKeys {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Context[key] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Context) == 0 {
+		doc.Context = nil
+	}
+	for _, res := range byName {
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool { return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name })
+	return doc, nil
+}

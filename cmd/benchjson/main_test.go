@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: offnetscope/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStageValidate-8      	      22	  51234567 ns/op	 9092360 B/op	  164253 allocs/op
+BenchmarkStageCertMatch       	     240	   5086158 ns/op
+BenchmarkStudyJobs4-8         	       1	7275915451 ns/op	2316021840 B/op	29222907 allocs/op
+PASS
+ok  	offnetscope/internal/core	15.574s
+`
+
+func TestParse(t *testing.T) {
+	var out strings.Builder
+	doc, err := parse(strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tee: input passes through byte-identically.
+	if out.String() != sampleBench {
+		t.Errorf("stdout not a passthrough:\n%s", out.String())
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["pkg"] != "offnetscope/internal/core" {
+		t.Errorf("context = %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	// Sorted by name, -N suffix stripped.
+	if doc.Benchmarks[0].Name != "BenchmarkStageCertMatch" || doc.Benchmarks[2].Name != "BenchmarkStudyJobs4" {
+		t.Errorf("order: %v", doc.Benchmarks)
+	}
+	v := doc.Benchmarks[1] // BenchmarkStageValidate
+	if v.Iterations != 22 || v.NsPerOp != 51234567 || v.BytesPerOp != 9092360 || v.AllocsPerOp != 164253 {
+		t.Errorf("StageValidate = %+v", v)
+	}
+	// -benchmem columns absent → zero (and omitted from JSON).
+	if m := doc.Benchmarks[0]; m.BytesPerOp != 0 || m.AllocsPerOp != 0 || m.NsPerOp != 5086158 {
+		t.Errorf("StageCertMatch = %+v", m)
+	}
+}
+
+func TestParseNoResults(t *testing.T) {
+	var out strings.Builder
+	doc, err := parse(strings.NewReader("no benchmarks here\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 || doc.Context != nil {
+		t.Errorf("doc = %+v", doc)
+	}
+}

@@ -80,7 +80,7 @@ func TestPanicRecovery(t *testing.T) {
 	if !strings.Contains(rec.Body.String(), "internal error") {
 		t.Errorf("panic response body: %s", rec.Body.String())
 	}
-	if got := s.metrics.requests.Get("panics"); got == nil || got.String() != "1" {
+	if got := s.reg.Snapshot().Counter("http.panics"); got != 1 {
 		t.Errorf("panics counter = %v, want 1", got)
 	}
 	// The worker token was released despite the panic: the pool still
@@ -106,7 +106,7 @@ func TestLoadShedding(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("429 missing Retry-After")
 	}
-	if got := s.metrics.requests.Get("shed"); got == nil || got.String() != "1" {
+	if got := s.reg.Snapshot().Counter("http.shed"); got != 1 {
 		t.Errorf("shed counter = %v, want 1", got)
 	}
 	// Health stays green through the overload: it bypasses the pool.

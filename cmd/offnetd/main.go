@@ -10,10 +10,12 @@
 //	GET /healthz                              liveness (never consumes a worker)
 //	GET /readyz                               readiness: a valid store is loaded
 //	GET /debug/vars                           request counters + latency histograms (expvar)
+//	GET /debug/metrics                        the full obs metrics registry as one JSON snapshot
+//	GET /debug/pprof/...                      runtime profiles (only with -pprof)
 //
 // Usage:
 //
-//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s] [-queue-wait 1s]
+//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s] [-queue-wait 1s] [-pprof]
 //
 // Production behavior: requests beyond the worker pool queue up to
 // -queue-wait and are then shed with 429 + Retry-After (the hint is
@@ -59,6 +61,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 256, "max concurrently served requests")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	queueWait := fs.Duration("queue-wait", time.Second, "max time a request queues for a worker before a 429 shed")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (CPU profiles need ?seconds= below -timeout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +77,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "loaded %s: %s\n", *storePath, storeSummary(st))
 
 	s := newServer(st, *workers, *queueWait)
+	if *pprofOn {
+		s.enablePprof()
+		fmt.Fprintln(stdout, "pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Handler:           http.TimeoutHandler(s, *timeout, `{"error":"request timed out"}`),
 		ReadHeaderTimeout: 5 * time.Second,

@@ -16,6 +16,7 @@ import (
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/scanners"
 	"offnetscope/internal/timeline"
 	"offnetscope/internal/worldsim"
@@ -149,6 +150,51 @@ func TestEndpoints(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/debug/vars missing %s", want)
 		}
+	}
+
+	// /debug/metrics serves the same registry as one parseable obs
+	// snapshot, without consuming a worker token.
+	req = httptest.NewRequest("GET", "/debug/metrics", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/debug/metrics = %d", rec.Code)
+	}
+	snap, err := obs.ParseSnapshot(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("/debug/metrics body: %v", err)
+	}
+	if snap.Name != "offnetd" {
+		t.Errorf("metrics registry name = %q", snap.Name)
+	}
+	if snap.Counter("http.requests.footprint") == 0 {
+		t.Errorf("footprint requests uncounted: %v", snap.Counters)
+	}
+	lat := snap.Histograms["http.latency_ns.footprint"]
+	var inBuckets uint64
+	for _, b := range lat.Buckets {
+		inBuckets += b.N
+	}
+	if lat.Count == 0 || lat.Count != inBuckets {
+		t.Errorf("footprint latency histogram inconsistent: %+v", lat)
+	}
+}
+
+// TestPprofFlag verifies the profile endpoints exist only behind
+// enablePprof (the -pprof flag).
+func TestPprofFlag(t *testing.T) {
+	h := newServer(testStore(t), 4, 0)
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof = %d, want 404", rec.Code)
+	}
+	h.enablePprof()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index = %d:\n%.200s", rec.Code, rec.Body.String())
 	}
 }
 

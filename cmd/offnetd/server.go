@@ -5,7 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"sort"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -15,6 +15,7 @@ import (
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/timeline"
 )
 
@@ -31,8 +32,15 @@ type server struct {
 	retryAfter string        // Retry-After seconds on a shed, derived from queueWait
 	generation atomic.Uint64 // bumped on every store swap; starts at 1
 	lastReload atomic.Int64  // unix nanos of the last swap (or initial load)
-	metrics    *metrics
 	mux        *http.ServeMux
+
+	// Metrics live in one obs registry (served whole at /debug/metrics)
+	// but the hot path only touches these pre-resolved handles — the
+	// registry's name-lookup mutex is never taken while serving.
+	reg                    *obs.Registry
+	reqCount               map[string]*obs.Counter   // per-endpoint requests
+	reqLatency             map[string]*obs.Histogram // per-endpoint latency, log2-ns buckets
+	panics, shed, rejected *obs.Counter
 }
 
 // storeHandler is a data endpoint: it receives the store version pinned
@@ -54,16 +62,27 @@ func newServer(st *footstore.Store, workers int, queueWait time.Duration) *serve
 	if queueWait <= 0 {
 		queueWait = time.Second
 	}
+	reg := obs.NewRegistry("offnetd")
 	s := &server{
 		sem:        make(chan struct{}, workers),
 		queueWait:  queueWait,
 		retryAfter: retryAfterSeconds(queueWait),
-		metrics:    newMetrics(),
+		reg:        reg,
+		reqCount:   make(map[string]*obs.Counter, len(endpoints)),
+		reqLatency: make(map[string]*obs.Histogram, len(endpoints)),
+		panics:     reg.Counter("http.panics"),
+		shed:       reg.Counter("http.shed"),
+		rejected:   reg.Counter("http.rejected"),
+	}
+	for _, name := range endpoints {
+		s.reqCount[name] = reg.Counter("http.requests." + name)
+		s.reqLatency[name] = reg.Histogram("http.latency_ns." + name)
 	}
 	s.store.Store(st)
 	s.generation.Store(1)
 	s.lastReload.Store(time.Now().UnixNano())
-	publishMetrics(s.metrics, s)
+	reg.Gauge("store.generation").Set(1)
+	publishMetrics(s)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/snapshots", s.wrap("snapshots", handleSnapshots))
@@ -73,8 +92,21 @@ func newServer(st *footstore.Store, workers int, queueWait time.Duration) *serve
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// enablePprof mounts the net/http/pprof handlers on the daemon's mux
+// (the -pprof flag). Note the server's -timeout wraps these too: CPU
+// profiles need ?seconds= below the request timeout, or a raised
+// -timeout.
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -85,7 +117,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // an operator can confirm a SIGHUP actually landed.
 func (s *server) Reload(st *footstore.Store) {
 	s.store.Store(st)
-	s.generation.Add(1)
+	s.reg.Gauge("store.generation").Set(int64(s.generation.Add(1)))
 	s.lastReload.Store(time.Now().UnixNano())
 }
 
@@ -109,7 +141,7 @@ func (s *server) wrap(name string, h storeHandler) http.HandlerFunc {
 		// A bug in one handler must cost one 500, never the daemon.
 		defer func() {
 			if v := recover(); v != nil {
-				s.metrics.requests.Add("panics", 1)
+				s.panics.Inc()
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
@@ -125,13 +157,13 @@ func (s *server) wrap(name string, h storeHandler) http.HandlerFunc {
 			case s.sem <- struct{}{}:
 				t.Stop()
 			case <-t.C:
-				s.metrics.requests.Add("shed", 1)
+				s.shed.Inc()
 				w.Header().Set("Retry-After", s.retryAfter)
 				writeError(w, http.StatusTooManyRequests, "server overloaded, request shed")
 				return
 			case <-r.Context().Done():
 				t.Stop()
-				s.metrics.requests.Add("rejected", 1)
+				s.rejected.Inc()
 				writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
 				return
 			}
@@ -139,9 +171,19 @@ func (s *server) wrap(name string, h storeHandler) http.HandlerFunc {
 		defer func() { <-s.sem }()
 		start := time.Now()
 		h(s.store.Load(), w, r)
-		s.metrics.requests.Add(name, 1)
-		s.metrics.latency[name].observe(time.Since(start))
+		s.reqCount[name].Inc()
+		s.reqLatency[name].Since(start)
 	}
+}
+
+// handleMetrics serves the whole obs registry as one JSON snapshot.
+// Like the health checks it bypasses the worker pool: the snapshot is
+// a few atomic loads, and an operator debugging an overload needs the
+// metrics precisely when no worker token is free.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.reg.Snapshot().WriteJSON(w)
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP.
@@ -299,76 +341,36 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
-// metrics holds per-endpoint request counters and latency histograms,
-// all atomic — the handlers never take a lock.
-type metrics struct {
-	requests *expvar.Map
-	latency  map[string]*latencyHist // fixed key set, read-only after construction
-}
-
-func newMetrics() *metrics {
-	m := &metrics{requests: new(expvar.Map).Init(), latency: make(map[string]*latencyHist, len(endpoints))}
-	for _, name := range endpoints {
-		m.latency[name] = &latencyHist{}
-	}
-	return m
-}
-
-// latencyBounds are the histogram bucket upper bounds; the final
-// bucket is unbounded.
-var latencyBounds = []time.Duration{
-	100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
-	100 * time.Millisecond, time.Second,
-}
-
-// latencyHist is a fixed-bucket latency histogram on atomics.
-type latencyHist struct {
-	count   atomic.Uint64
-	sumNano atomic.Uint64
-	buckets [6]atomic.Uint64 // len(latencyBounds)+1
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	h.count.Add(1)
-	h.sumNano.Add(uint64(d))
-	for i, bound := range latencyBounds {
-		if d <= bound {
-			h.buckets[i].Add(1)
-			return
-		}
-	}
-	h.buckets[len(latencyBounds)].Add(1)
-}
-
-// snapshot renders the histogram for /debug/vars.
-func (h *latencyHist) snapshot() map[string]any {
-	buckets := map[string]uint64{}
-	for i, bound := range latencyBounds {
-		buckets["le_"+bound.String()] = h.buckets[i].Load()
-	}
-	buckets["inf"] = h.buckets[len(latencyBounds)].Load()
-	count := h.count.Load()
-	out := map[string]any{"count": count, "buckets": buckets}
-	if count > 0 {
-		out["mean"] = time.Duration(h.sumNano.Load() / count).String()
-	}
-	return out
-}
-
-// publishMetrics exposes the first server's metrics under /debug/vars.
-// expvar's registry is global and rejects duplicate names, so later
-// servers in the same process (tests) keep private metrics.
+// publishMetrics exposes the first server's metrics under /debug/vars —
+// the legacy expvar view of the same obs registry /debug/metrics serves
+// whole. expvar's registry is global and rejects duplicate names, so
+// later servers in the same process (tests) keep private metrics.
 var publishOnce sync.Once
 
-func publishMetrics(m *metrics, s *server) {
+func publishMetrics(s *server) {
 	publishOnce.Do(func() {
-		expvar.Publish("offnetd.requests", m.requests)
+		expvar.Publish("offnetd.requests", expvar.Func(func() any {
+			snap := s.reg.Snapshot()
+			out := map[string]any{
+				"panics":   snap.Counter("http.panics"),
+				"shed":     snap.Counter("http.shed"),
+				"rejected": snap.Counter("http.rejected"),
+			}
+			for _, name := range endpoints {
+				out[name] = snap.Counter("http.requests." + name)
+			}
+			return out
+		}))
 		expvar.Publish("offnetd.latency", expvar.Func(func() any {
+			snap := s.reg.Snapshot()
 			out := map[string]any{}
-			names := append([]string(nil), endpoints...)
-			sort.Strings(names)
-			for _, name := range names {
-				out[name] = m.latency[name].snapshot()
+			for _, name := range endpoints {
+				h := snap.Histograms["http.latency_ns."+name]
+				out[name] = map[string]any{
+					"count":   h.Count,
+					"mean":    time.Duration(h.Mean()).String(),
+					"buckets": h.Buckets,
+				}
 			}
 			return out
 		}))

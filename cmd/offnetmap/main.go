@@ -52,6 +52,7 @@ import (
 	"offnetscope/internal/corpus"
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/resilience"
 	"offnetscope/internal/runstate"
 	"offnetscope/internal/timeline"
@@ -123,6 +124,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	resume := fs.Bool("resume", false, "with -checkpoint: reload intact checkpoints instead of recomputing (manifest must match)")
 	jobs := fs.Int("jobs", 1, "with -growth: parallel per-snapshot inference workers (output is identical at any setting)")
 	snapTimeout := fs.Duration("snapshot-timeout", 30*time.Minute, "with -growth: per-snapshot watchdog deadline; a stuck snapshot is retried then dropped (0 disables)")
+	metricsPath := fs.String("metrics", "", "write the run's metrics (pipeline funnel, corpus, retry, checkpoint accounting) to this JSON file")
+	verbose := fs.Bool("v", false, "print a human-readable pipeline-funnel summary after the run")
 	fs.Usage = func() {
 		out := fs.Output()
 		fmt.Fprintf(out, "usage: offnetmap -corpus DIR [flags]\n\nflags:\n")
@@ -153,12 +156,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *jobs < 1 {
 		return usageError(fmt.Errorf("-jobs must be at least 1"))
 	}
-	opts := corpus.ReadOptions{Tolerant: *tolerant, MaxBadFraction: *maxBad}
+	// The registry is always live: every counter is a lock-free atomic,
+	// so instrumenting unconditionally costs nothing measurable and the
+	// -metrics / -v decision reduces to "where to render the snapshot".
+	reg := obs.NewRegistry("offnetmap")
+	opts := corpus.ReadOptions{Tolerant: *tolerant, MaxBadFraction: *maxBad, Metrics: reg}
 
 	pipeline, err := pipelineFromManifest(*dir, *certsOnly)
 	if err != nil {
 		return err
 	}
+	pipeline.Metrics = reg
 
 	if *growth {
 		gopt := growthOptions{
@@ -166,6 +174,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			resume:     *resume,
 			jobs:       *jobs,
 			timeout:    *snapTimeout,
+			metrics:    reg,
 		}
 		sr, droppedMonths, err := runGrowth(ctx, stdout, pipeline, *dir, corpus.Vendor(*vendor), opts, gopt)
 		if err != nil {
@@ -183,6 +192,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			if err := saveStore(stdout, st, *storePath); err != nil {
 				return err
 			}
+		}
+		if err := emitMetrics(stdout, reg, *metricsPath, *verbose); err != nil {
+			return err
 		}
 		if droppedMonths > 0 {
 			return &exitError{code: exitReducedCoverage,
@@ -227,7 +239,106 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
+	return emitMetrics(stdout, reg, *metricsPath, *verbose)
+}
+
+// emitMetrics renders the run's metrics registry: the full JSON snapshot
+// to path (when set) and a human funnel summary to stdout (at -v). The
+// funnel.* and corpus.* counters in the JSON are deterministic — byte-
+// identical across repeated runs and any -jobs setting — so CI can diff
+// the file; only the *_ns timing histograms carry wall time.
+func emitMetrics(stdout io.Writer, reg *obs.Registry, path string, verbose bool) error {
+	snap := reg.Snapshot()
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		werr := snap.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing metrics: %w", werr)
+		}
+		fmt.Fprintf(stdout, "wrote metrics %s\n", path)
+	}
+	if verbose {
+		writeFunnel(stdout, snap)
+	}
 	return nil
+}
+
+// writeFunnel prints the paper's §4 attribution funnel — how many
+// certificate IPs survived each inference stage — plus the drop and
+// corpus-skip breakdowns, so a degraded run names its dominant failure
+// class instead of just shrinking silently.
+func writeFunnel(w io.Writer, s obs.Snapshot) {
+	fmt.Fprintln(w, "pipeline funnel:")
+	for _, st := range []struct{ label, counter string }{
+		{"snapshots inferred", "funnel.snapshots_inferred"},
+		{"cert IPs seen", "funnel.certs_seen"},
+		{"valid chains", "funnel.certs_valid"},
+		{"HG cert matches", "funnel.hg_cert_matches"},
+		{"on-net fingerprint IPs", "funnel.onnet_fingerprint_ips"},
+		{"off-net candidate IPs", "funnel.candidate_ips"},
+		{"header-confirmed IPs", "funnel.confirmed_ips"},
+		{"confirmed off-net ASes", "funnel.confirmed_ases"},
+	} {
+		fmt.Fprintf(w, "  %-24s %12d\n", st.label, s.Counter(st.counter))
+	}
+	if line := breakdown(s, "funnel.drop."); line != "" {
+		fmt.Fprintf(w, "  drops: %s\n", line)
+	}
+	if line := breakdown(s, "corpus.skip."); line != "" {
+		fmt.Fprintf(w, "  corpus skips: %s (dominant: %s)\n", line, dominant(s, "corpus.skip."))
+	}
+	if n := s.Counter("funnel.snapshots_dropped"); n > 0 {
+		fmt.Fprintf(w, "  snapshots dropped: %d\n", n)
+	}
+}
+
+// breakdown renders every counter under prefix as "reason=count",
+// sorted descending by count (ties by name) so the dominant class
+// leads the line.
+func breakdown(s obs.Snapshot, prefix string) string {
+	type kv struct {
+		name string
+		n    int64
+	}
+	var items []kv
+	for name, n := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			items = append(items, kv{strings.TrimPrefix(name, prefix), n})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].name < items[j].name
+	})
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = fmt.Sprintf("%s=%d", it.name, it.n)
+	}
+	return strings.Join(parts, " ")
+}
+
+// dominant names the largest counter under prefix (the dominant
+// corruption class for corpus.skip.*), or "none".
+func dominant(s obs.Snapshot, prefix string) string {
+	best, bestN := "none", int64(0)
+	for name, n := range s.Counters {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		r := strings.TrimPrefix(name, prefix)
+		if n > bestN || (n == bestN && bestN > 0 && r < best) {
+			best, bestN = r, n
+		}
+	}
+	return best
 }
 
 // pipelineFromManifest rebuilds the matching world datasets (IP-to-AS,
@@ -367,6 +478,7 @@ type growthOptions struct {
 	resume     bool
 	jobs       int
 	timeout    time.Duration
+	metrics    *obs.Registry
 }
 
 // runGrowth replays the whole on-disk corpus through the study runner:
@@ -393,6 +505,7 @@ func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, d
 		if err != nil {
 			return nil, 0, err
 		}
+		ckDir.SetMetrics(gopt.metrics)
 	}
 
 	// Workers read concurrently; per-snapshot stats are collected here
@@ -434,6 +547,7 @@ func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, d
 	cfg := core.StudyConfig{
 		Jobs:            gopt.jobs,
 		SnapshotTimeout: gopt.timeout,
+		Retry:           resilience.Policy{Metrics: gopt.metrics},
 		OnDrop: func(s timeline.Snapshot, err error) {
 			mu.Lock()
 			aborting := strictErr != nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +11,7 @@ import (
 
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/timeline"
 )
 
@@ -137,6 +139,89 @@ func TestOffnetmapStoreFlag(t *testing.T) {
 	sfp, ok := single.Footprint(hg.Google, last)
 	if !ok || !reflect.DeepEqual(fp, sfp) {
 		t.Errorf("single-snapshot footprint diverges: %v vs %v", sfp, fp)
+	}
+}
+
+// TestOffnetmapMetricsDeterministic pins the §7 observability contract:
+// the funnel/corpus/checkpoint counters written by -metrics are byte-
+// identical across repeated runs and across -jobs settings — only the
+// *_ns timing histograms may differ. It also checks the -v funnel
+// summary names the pipeline stages.
+func TestOffnetmapMetricsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a corpus on disk")
+	}
+	dir := t.TempDir()
+	if err := worldgenEquivalent(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// counters re-marshals only the deterministic part of a metrics file.
+	counters := func(path string) []byte {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := obs.ParseSnapshot(raw)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		out, err := json.Marshal(snap.Counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	runOnce := func(name string, jobs string) ([]byte, string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out strings.Builder
+		err := run(context.Background(),
+			[]string{"-corpus", dir, "-growth", "-jobs", jobs, "-metrics", path, "-v"}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counters(path), out.String()
+	}
+
+	seq1, text := runOnce("m1.json", "1")
+	seq2, _ := runOnce("m2.json", "1")
+	par, _ := runOnce("m4.json", "4")
+	if !reflect.DeepEqual(seq1, seq2) {
+		t.Errorf("counters differ across identical runs:\n%s\n%s", seq1, seq2)
+	}
+	if !reflect.DeepEqual(seq1, par) {
+		t.Errorf("counters differ between -jobs 1 and -jobs 4:\n%s\n%s", seq1, par)
+	}
+
+	for _, want := range []string{"pipeline funnel:", "cert IPs seen", "HG cert matches",
+		"header-confirmed IPs", "wrote metrics"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-v output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Sanity: the funnel actually counted work.
+	snapRaw, err := os.ReadFile(filepath.Join(dir, "m1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(snapRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("funnel.snapshots_inferred") != 3 {
+		t.Errorf("snapshots_inferred = %d, want 3", snap.Counter("funnel.snapshots_inferred"))
+	}
+	if snap.Counter("funnel.certs_seen") == 0 || snap.Counter("funnel.confirmed_ips") == 0 {
+		t.Errorf("funnel empty: %v", snap.Counters)
+	}
+	// The study probes every timeline month; only the last three exist
+	// on disk, the rest count as missing rather than errors.
+	if reads, miss := snap.Counter("corpus.reads"), snap.Counter("corpus.read_missing"); reads-miss != 3 {
+		t.Errorf("corpus reads=%d missing=%d, want 3 successful", reads, miss)
 	}
 }
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"offnetscope/internal/corpus"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/scanners"
+	"offnetscope/internal/timeline"
+)
+
+// Per-stage pipeline benchmarks over the shared seeded world (the same
+// corpus the golden suite pins), so a perf regression is attributable
+// to one methodology stage rather than "the pipeline got slower".
+// `make bench` renders these into BENCH_pipeline.json.
+
+// benchCorpus lazily scans the last snapshot once for all benchmarks.
+var benchCorpus *corpus.Snapshot
+
+func benchSnapshot(b *testing.B) *corpus.Snapshot {
+	b.Helper()
+	if benchCorpus == nil {
+		benchCorpus = rapid7At(b, lastSnap)
+	}
+	return benchCorpus
+}
+
+// BenchmarkStageValidate measures §4.1 chain validation + AS annotation
+// over one snapshot's certificate records.
+func BenchmarkStageValidate(b *testing.B) {
+	p := testPipeline(DefaultOptions())
+	snap := benchSnapshot(b)
+	mapper := p.Mapper(snap.Snapshot)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := &Result{InvalidByReason: make(map[string]int), PerHG: make(map[hg.ID]*HGResult)}
+		if recs := p.validate(snap, res, mapper); len(recs) == 0 {
+			b.Fatal("no validated records")
+		}
+	}
+}
+
+// BenchmarkStageCertMatch measures steps 2–3 — fingerprint learning,
+// keyword match, and the dNSName filter — with header confirmation
+// voided by empty header indexes.
+func BenchmarkStageCertMatch(b *testing.B) {
+	p := testPipeline(Options{HeaderMode: CertsOnly})
+	snap := benchSnapshot(b)
+	res := &Result{InvalidByReason: make(map[string]int), PerHG: make(map[hg.ID]*HGResult)}
+	records := p.validate(snap, res, p.Mapper(snap.Snapshot))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hr := p.runHG(hg.Get(hg.Google), lastSnap, records, nil, nil)
+		if hr.CandidateIPs == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkStageHeaderConfirm measures §4.5 header confirmation alone:
+// both confirmation modes over every previously computed candidate IP.
+func BenchmarkStageHeaderConfirm(b *testing.B) {
+	p := testPipeline(DefaultOptions())
+	snap := benchSnapshot(b)
+	res := &Result{InvalidByReason: make(map[string]int), PerHG: make(map[hg.ID]*HGResult)}
+	records := p.validate(snap, res, p.Mapper(snap.Snapshot))
+	httpsIdx := snap.HTTPSHeadersByIP()
+	httpIdx := snap.HTTPHeadersByIP()
+	h := hg.Get(hg.Google)
+	hr := p.runHG(h, lastSnap, records, httpsIdx, httpIdx)
+	if len(hr.CandidateIPList) == 0 {
+		b.Fatal("no candidate IPs to confirm")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		confirmed := 0
+		for _, ip := range hr.CandidateIPList {
+			if either, _ := p.confirmModes(h, ip, httpsIdx, httpIdx); either {
+				confirmed++
+			}
+		}
+		if confirmed == 0 {
+			b.Fatal("nothing confirmed")
+		}
+	}
+}
+
+// BenchmarkSnapshotInference measures one full five-step inference pass
+// — the unit of work a -jobs worker executes.
+func BenchmarkSnapshotInference(b *testing.B) {
+	p := testPipeline(DefaultOptions())
+	snap := benchSnapshot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := p.Run(snap)
+		if res.TotalCertIPs == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func benchStudy(b *testing.B, jobs int) {
+	p := testPipeline(DefaultOptions())
+	profile := scanners.Rapid7Profile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := p.RunStudyConfig(context.Background(), func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+			return scanners.Scan(testWorld, profile, s), nil
+		}, StudyConfig{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sr.ConfirmedSeries(hg.Google)[lastSnap] == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+// BenchmarkStudyJobs1/Jobs4 measure the full 31-snapshot longitudinal
+// study sequentially and on a 4-worker pool — the speedup the -jobs
+// flag buys, with identical output per the golden suite.
+func BenchmarkStudyJobs1(b *testing.B) { benchStudy(b, 1) }
+func BenchmarkStudyJobs4(b *testing.B) { benchStudy(b, 4) }

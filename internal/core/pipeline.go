@@ -24,12 +24,14 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 
 	"offnetscope/internal/astopo"
 	"offnetscope/internal/certmodel"
 	"offnetscope/internal/corpus"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/timeline"
 )
 
@@ -81,6 +83,15 @@ type Pipeline struct {
 	Orgs   *astopo.OrgDB
 	Mapper func(timeline.Snapshot) IPMapper
 	Opts   Options
+
+	// Metrics, when set, receives the per-stage funnel counters and
+	// stage timers documented in DESIGN.md §7 (funnel.*). Counter
+	// totals are deterministic for a fixed corpus — byte-identical
+	// across runs and across StudyConfig.Jobs settings — because every
+	// stage contributes by commutative addition; only the *_ns timing
+	// histograms vary run to run. Nil disables instrumentation at
+	// effectively zero cost.
+	Metrics *obs.Registry
 }
 
 // cloudflareCustomerRe is the §7 filter for Cloudflare-issued customer
@@ -180,6 +191,8 @@ type record struct {
 
 // Run executes the methodology over one corpus snapshot.
 func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
+	m := p.Metrics
+	runStart := time.Now()
 	res := &Result{
 		Vendor:          snap.Vendor,
 		Snapshot:        snap.Snapshot,
@@ -187,9 +200,49 @@ func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
 		PerHG:           make(map[hg.ID]*HGResult, hg.Count),
 	}
 	mapper := p.Mapper(snap.Snapshot)
-	at := snap.ScanTime()
 
-	// Step 1: validate chains and annotate records with their origin AS.
+	valStart := time.Now()
+	records := p.validate(snap, res, mapper)
+	m.Histogram("funnel.validate_ns").Since(valStart)
+
+	httpsIdx := snap.HTTPSHeadersByIP()
+	httpIdx := snap.HTTPHeadersByIP()
+
+	matchStart := time.Now()
+	for _, h := range hg.All() {
+		hr := p.runHG(h, snap.Snapshot, records, httpsIdx, httpIdx)
+		res.PerHG[h.ID] = hr
+	}
+	m.Histogram("funnel.match_ns").Since(matchStart)
+	p.countHGIPs(res, records)
+
+	// The per-snapshot funnel (§3–§4): how many records each stage
+	// admitted. All plain additions, so study totals are identical at
+	// any worker count.
+	m.Counter("funnel.snapshots_inferred").Inc()
+	m.Counter("funnel.certs_seen").Add(int64(res.TotalCertIPs))
+	m.Counter("funnel.certs_valid").Add(int64(res.ValidCertIPs))
+	for reason, n := range res.InvalidByReason {
+		m.Counter("funnel.cert_invalid." + reason).Add(int64(n))
+	}
+	m.Counter("funnel.hg_cert_onnet_ips").Add(int64(res.HGOnNetCertIPs))
+	m.Counter("funnel.hg_cert_offnet_ips").Add(int64(res.HGOffNetCertIPs))
+	for _, hr := range res.PerHG {
+		m.Counter("funnel.onnet_fingerprint_ips").Add(int64(hr.OnNetIPs))
+		m.Counter("funnel.candidate_ips").Add(int64(hr.CandidateIPs))
+		m.Counter("funnel.confirmed_ips").Add(int64(hr.ConfirmedIPs))
+		m.Counter("funnel.confirmed_ases").Add(int64(len(hr.ConfirmedASes)))
+	}
+	m.Histogram("funnel.run_ns").Since(runStart)
+	return res
+}
+
+// validate is step 1: verify every chain and annotate records with
+// their origin AS. Invalid chains are dropped (counted by reason)
+// except expired-only leaves, which are kept flagged for the Fig 3
+// envelope.
+func (p *Pipeline) validate(snap *corpus.Snapshot, res *Result, mapper IPMapper) []record {
+	at := snap.ScanTime()
 	records := make([]record, 0, len(snap.Certs))
 	asSet := make(map[astopo.ASN]struct{})
 	for _, cr := range snap.Certs {
@@ -220,16 +273,7 @@ func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
 		})
 	}
 	res.TotalCertASes = len(asSet)
-
-	httpsIdx := snap.HTTPSHeadersByIP()
-	httpIdx := snap.HTTPHeadersByIP()
-
-	for _, h := range hg.All() {
-		hr := p.runHG(h, snap.Snapshot, records, httpsIdx, httpIdx)
-		res.PerHG[h.ID] = hr
-	}
-	p.countHGIPs(res, records)
-	return res
+	return records
 }
 
 // runHG executes steps 2-5 for one hypergiant.
@@ -268,7 +312,11 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 		}
 	}
 
-	// Step 3: candidates outside the on-net ASes.
+	// Step 3: candidates outside the on-net ASes. Rejections are
+	// tallied by reason so the funnel report can show where records
+	// leave the pipeline (funnel.drop.*).
+	m := p.Metrics
+	var hgMatches, dropExpired, dropDNSNames, dropCloudflare, dropUnconfirmed int64
 	allowExpired := p.Opts.IgnoreExpiryFor[h.ID]
 	for i := range records {
 		r := &records[i]
@@ -278,6 +326,7 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 		if len(r.asns) == 0 || anyIn(r.asns, onNet) {
 			continue
 		}
+		hgMatches++
 		if r.expired && !allowExpired {
 			// Track what ignoring expiry would add (Fig 3 envelope).
 			if p.dnsNamesOnNet(r.leaf, hr.DNSNames) && !p.isCloudflareCustomerCert(h.ID, r.leaf) {
@@ -286,12 +335,15 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 				}
 				hr.ExpiredIPs = append(hr.ExpiredIPs, r.ip)
 			}
+			dropExpired++
 			continue
 		}
 		if !p.dnsNamesOnNet(r.leaf, hr.DNSNames) {
+			dropDNSNames++
 			continue
 		}
 		if p.isCloudflareCustomerCert(h.ID, r.leaf) {
+			dropCloudflare++
 			continue
 		}
 		hr.CandidateIPs++
@@ -326,8 +378,15 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 			for _, as := range r.asns {
 				hr.ConfirmedASes[as] = struct{}{}
 			}
+		} else {
+			dropUnconfirmed++
 		}
 	}
+	m.Counter("funnel.hg_cert_matches").Add(hgMatches)
+	m.Counter("funnel.drop.expired_cert").Add(dropExpired)
+	m.Counter("funnel.drop.dnsnames_offnet").Add(dropDNSNames)
+	m.Counter("funnel.drop.cloudflare_customer").Add(dropCloudflare)
+	m.Counter("funnel.drop.header_unconfirmed").Add(dropUnconfirmed)
 	return hr
 }
 

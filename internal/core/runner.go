@@ -136,6 +136,7 @@ func (p *Pipeline) RunStudyConfig(ctx context.Context, source StudySource, cfg S
 fold:
 	for _, s := range timeline.All() {
 		if ck := restored[s]; ck != nil {
+			p.Metrics.Counter("funnel.snapshots_restored").Inc()
 			out.Results[s] = ck.Result
 			out.setEnvelope(s, ck.Envelope)
 			env.replay(ck.MemDelta)
@@ -163,14 +164,17 @@ fold:
 				runErr = ctx.Err()
 				break fold
 			}
+			p.Metrics.Counter("funnel.snapshots_dropped").Inc()
 			if cfg.OnDrop != nil {
 				cfg.OnDrop(s, o.err)
 			}
 			continue
 		}
 		if o.inf == nil {
+			p.Metrics.Counter("funnel.snapshots_empty").Inc()
 			continue // month not covered by this vendor
 		}
+		p.Metrics.Counter("funnel.snapshots_folded").Inc()
 		vals, delta := env.fold(o.inf)
 		out.Results[s] = o.inf.Result
 		out.setEnvelope(s, vals)
@@ -205,6 +209,7 @@ func (p *Pipeline) inferOnce(ctx context.Context, source StudySource, s timeline
 			return ctx.Err() == nil && !resilience.IsPermanent(err)
 		}
 	}
+	start := time.Now()
 	var inf *SnapshotInference
 	err := resilience.Retry(ctx, pol, func(rctx context.Context) error {
 		actx := rctx
@@ -233,5 +238,9 @@ func (p *Pipeline) inferOnce(ctx context.Context, source StudySource, s timeline
 	if err != nil {
 		return nil, err
 	}
+	// Snapshot wall time covers the read plus the inference, over all
+	// retry attempts — the per-unit-of-work latency a -jobs setting
+	// amortizes.
+	p.Metrics.Histogram("funnel.snapshot_ns").Since(start)
 	return inf, nil
 }

@@ -16,6 +16,7 @@ import (
 	"offnetscope/internal/certmodel"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/timeline"
 )
 
@@ -179,6 +180,12 @@ type ReadOptions struct {
 	// fraction of the records seen — strictly exceed, so a file exactly
 	// at the budget still passes. Zero or negative means the 5% default.
 	MaxBadFraction float64
+
+	// Metrics, when set, receives read/skip accounting (corpus.* in
+	// DESIGN.md §7): reads, read errors, records decoded, records
+	// skipped by reason, and a read-latency histogram. Counter totals
+	// are deterministic for a fixed corpus; only corpus.read_ns varies.
+	Metrics *obs.Registry
 }
 
 func (o ReadOptions) budget() float64 {
@@ -266,6 +273,33 @@ func (st *ReadStats) TotalSkipped() int {
 	return n
 }
 
+// ReasonTotals folds the per-file skip reasons into snapshot-wide
+// totals, so the funnel report can name the corruption classes instead
+// of burying them per file.
+func (st *ReadStats) ReasonTotals() map[string]int {
+	out := make(map[string]int)
+	for _, fs := range st.Files {
+		for reason, n := range fs.Reasons {
+			out[reason] += n
+		}
+	}
+	return out
+}
+
+// DominantReason returns the skip reason that dropped the most records
+// across the snapshot (ties broken alphabetically) and its count;
+// ("", 0) when nothing was skipped.
+func (st *ReadStats) DominantReason() (string, int) {
+	var reason string
+	var max int
+	for r, n := range st.ReasonTotals() {
+		if n > max || (n == max && max > 0 && r < reason) {
+			reason, max = r, n
+		}
+	}
+	return reason, max
+}
+
 // recordError tags a per-record decode failure with its accounting
 // reason.
 type recordError struct {
@@ -300,14 +334,32 @@ func Read(root string, vendor Vendor, s timeline.Snapshot) (*Snapshot, error) {
 // fails only when a file exceeds its error budget or is damaged at the
 // gzip level. The returned stats are valid (for inspection) even when
 // err is non-nil.
-func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOptions) (*Snapshot, *ReadStats, error) {
+func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOptions) (snap *Snapshot, stats *ReadStats, err error) {
+	start := time.Now()
+	stats = &ReadStats{}
+	defer func() {
+		m := opts.Metrics
+		m.Histogram("corpus.read_ns").Since(start)
+		m.Counter("corpus.reads").Inc()
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				m.Counter("corpus.read_missing").Inc() // months the vendor doesn't cover
+			} else {
+				m.Counter("corpus.read_errors").Inc()
+			}
+		}
+		m.Counter("corpus.records").Add(int64(stats.TotalRecords()))
+		m.Counter("corpus.records_skipped").Add(int64(stats.TotalSkipped()))
+		for reason, n := range stats.ReasonTotals() {
+			m.Counter("corpus.skip." + reason).Add(int64(n))
+		}
+	}()
 	dir := Dir(root, vendor, s)
-	snap := &Snapshot{Vendor: vendor, Snapshot: s}
-	stats := &ReadStats{}
+	snap = &Snapshot{Vendor: vendor, Snapshot: s}
 	interned := make(map[certmodel.Fingerprint]*certmodel.Certificate)
 
 	name := "certs.ndjson.gz"
-	err := readNDJSONFile(filepath.Join(dir, name), opts, stats.file(name), certLineDecoder(snap, interned))
+	err = readNDJSONFile(filepath.Join(dir, name), opts, stats.file(name), certLineDecoder(snap, interned))
 	if err != nil {
 		return nil, stats, err
 	}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"offnetscope/internal/obs"
 )
 
 // rewriteNDJSONGZ decompresses path, applies edit to the raw NDJSON
@@ -86,6 +88,66 @@ func TestTolerantReadSkipsMalformed(t *testing.T) {
 		if !strings.Contains(fs.String(), want) {
 			t.Errorf("stats string %q missing %q", fs.String(), want)
 		}
+	}
+}
+
+// Per-file skip reasons fold into snapshot-wide totals — with the
+// dominant corruption class named — and mirror into the obs registry,
+// so the funnel report can say *what* is eating a degraded corpus.
+func TestTolerantReadReasonTotalsAndMetrics(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	dir := Dir(root, Rapid7, snap.Snapshot)
+	// Damage two different files with different reason mixes (the
+	// headers file is tiny, so it gets a single bad record to stay
+	// inside the budget).
+	rewriteNDJSONGZ(t, filepath.Join(dir, "certs.ndjson.gz"), func(lines []string) []string {
+		return append(lines, "not json", "{still not json", `{"ip":"bad-ip","chain":[]}`)
+	})
+	rewriteNDJSONGZ(t, filepath.Join(dir, "https_headers.ndjson.gz"), func(lines []string) []string {
+		return append(lines, "also not json")
+	})
+
+	reg := obs.NewRegistry("test")
+	back, stats, err := ReadWithStats(root, Rapid7, snap.Snapshot,
+		ReadOptions{Tolerant: true, MaxBadFraction: 0.5, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := stats.ReasonTotals()
+	if totals["json"] != 3 || totals["ip"] != 1 {
+		t.Fatalf("ReasonTotals = %v, want json=3 ip=1", totals)
+	}
+	reason, n := stats.DominantReason()
+	if reason != "json" || n != 3 {
+		t.Fatalf("DominantReason = %q/%d, want json/3", reason, n)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counter("corpus.skip.json"); got != 3 {
+		t.Errorf("corpus.skip.json = %d, want 3", got)
+	}
+	if got := s.Counter("corpus.skip.ip"); got != 1 {
+		t.Errorf("corpus.skip.ip = %d, want 1", got)
+	}
+	wantRecords := int64(len(back.Certs) + len(back.HTTPS) + len(back.HTTP))
+	if got := s.Counter("corpus.records"); got != wantRecords {
+		t.Errorf("corpus.records = %d, want %d", got, wantRecords)
+	}
+	if s.Counter("corpus.reads") != 1 || s.Counter("corpus.records_skipped") != 4 {
+		t.Errorf("read accounting: %v", s.Counters)
+	}
+	if h := s.Histograms["corpus.read_ns"]; h.Count != 1 {
+		t.Errorf("corpus.read_ns count = %d, want 1", h.Count)
+	}
+
+	// An untouched read reports no skips and a ("", 0) dominant reason.
+	clean := &ReadStats{}
+	if reason, n := clean.DominantReason(); reason != "" || n != 0 {
+		t.Fatalf("clean DominantReason = %q/%d", reason, n)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"offnetscope/internal/obs"
 	"offnetscope/internal/rng"
 )
 
@@ -37,6 +38,10 @@ type Policy struct {
 	// the process-wide stream, which is still reproducible run-to-run
 	// but shared across callers.
 	Seed uint64
+	// Metrics, when set, receives retry accounting (resilience.* in
+	// DESIGN.md §7): attempts, successes, retries, aborted (permanent
+	// or cancelled), exhausted budgets, and a backoff-sleep histogram.
+	Metrics *obs.Registry
 	// sleep is swapped by tests to observe the schedule.
 	sleep func(context.Context, time.Duration) error
 }
@@ -127,27 +132,37 @@ func Retry(ctx context.Context, p Policy, op func(context.Context) error) error 
 	if p.Seed != 0 {
 		g = rng.New(p.Seed).Fork("resilience")
 	}
+	m := p.Metrics
 	var err error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
+			m.Counter("resilience.aborted").Inc()
 			if err == nil {
 				return cerr
 			}
 			return err
 		}
+		m.Counter("resilience.attempts").Inc()
 		if err = op(ctx); err == nil {
+			m.Counter("resilience.successes").Inc()
 			return nil
 		}
 		if !p.Classify(err) {
+			m.Counter("resilience.aborted").Inc()
 			return err
 		}
 		if attempt == p.MaxAttempts-1 {
 			break
 		}
-		if serr := p.sleep(ctx, Backoff(p, attempt, jitterFloat(g))); serr != nil {
+		d := Backoff(p, attempt, jitterFloat(g))
+		m.Counter("resilience.retries").Inc()
+		m.Histogram("resilience.backoff_ns").Observe(int64(d))
+		if serr := p.sleep(ctx, d); serr != nil {
+			m.Counter("resilience.aborted").Inc()
 			return err
 		}
 	}
+	m.Counter("resilience.exhausted").Inc()
 	return fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, err)
 }
 

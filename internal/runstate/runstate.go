@@ -21,8 +21,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"offnetscope/internal/core"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/timeline"
 )
 
@@ -67,10 +69,16 @@ func (m Manifest) diff(other Manifest) string {
 type Dir struct {
 	path     string
 	manifest Manifest
+	metrics  *obs.Registry
 }
 
 // Path returns the directory the checkpoints live in.
 func (d *Dir) Path() string { return d.path }
+
+// SetMetrics routes checkpoint accounting (runstate.* in DESIGN.md §7)
+// into reg: save/load counts, corrupt-entry discards, and save/load
+// latency histograms. A nil registry (the default) disables it.
+func (d *Dir) SetMetrics(reg *obs.Registry) { d.metrics = reg }
 
 // Create opens a fresh checkpoint directory for the given run,
 // discarding any entries (and temp-file litter) a previous run left
@@ -136,27 +144,41 @@ func (d *Dir) entryPath(s timeline.Snapshot) string {
 // same directory, fsync, rename. After Save returns, a crash at any
 // later point leaves the entry loadable.
 func (d *Dir) Save(s timeline.Snapshot, ck *core.CheckpointData) error {
+	start := time.Now()
+	defer d.metrics.Histogram("runstate.save_ns").Since(start)
 	raw, err := encodeEntry(s, ck)
 	if err != nil {
+		d.metrics.Counter("runstate.save_errors").Inc()
 		return err
 	}
-	return writeAtomic(d.entryPath(s), raw)
+	if err := writeAtomic(d.entryPath(s), raw); err != nil {
+		d.metrics.Counter("runstate.save_errors").Inc()
+		return err
+	}
+	d.metrics.Counter("runstate.saves").Inc()
+	return nil
 }
 
 // Load returns the checkpoint for snapshot s, or nil when the entry is
 // missing, truncated, or corrupt — a damaged checkpoint is removed and
 // the snapshot recomputed, never trusted.
 func (d *Dir) Load(s timeline.Snapshot) *core.CheckpointData {
+	start := time.Now()
+	defer d.metrics.Histogram("runstate.load_ns").Since(start)
+	d.metrics.Counter("runstate.loads").Inc()
 	path := d.entryPath(s)
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		d.metrics.Counter("runstate.load_misses").Inc()
 		return nil
 	}
 	ck, err := decodeEntry(s, raw)
 	if err != nil {
+		d.metrics.Counter("runstate.load_corrupt").Inc()
 		os.Remove(path)
 		return nil
 	}
+	d.metrics.Counter("runstate.load_hits").Inc()
 	return ck
 }
 
