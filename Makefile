@@ -42,7 +42,8 @@ fuzz-smoke:
 
 # The fault-injection suite under the race detector: corrupted-corpus
 # ingestion, the kill/resume crash-equivalence suite, parallel-runner
-# determinism, hot reload under load, and the chaos reader itself.
+# determinism (including the mid-run cancellation regression), hot
+# reload under load, and the chaos reader itself.
 chaos-race:
 	go test -race ./internal/chaos ./internal/resilience ./internal/runstate ./internal/obs
 	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe|TestCrashResume|TestGrowthJobs' ./internal/corpus ./cmd/offnetmap
@@ -50,14 +51,16 @@ chaos-race:
 	go test -race -run 'TestHotReload|TestSIGHUP|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration' ./cmd/offnetd
 
 # The golden-regression suite: exact funnel metrics, growth series,
-# and report tables of the seeded study, sequential and parallel.
+# and report tables of the seeded study — sequential, parallel (-jobs),
+# record-sharded (-shards), and both combined, all byte-identical.
 # Refresh after an intentional methodology change with:
 #   go test ./internal/core -run TestGolden -update
 golden:
 	go test -run 'TestGolden' ./internal/core
 
 # Full benchmark pass over the paper experiments plus the per-stage
-# pipeline benchmarks, rendered to BENCH_pipeline.json for trend diffs.
+# pipeline benchmarks (including the sharded snapshot-inference row),
+# rendered to BENCH_pipeline.json for trend diffs.
 bench:
 	go test -bench=. -benchmem -run='^$$' . ./internal/core | go run ./cmd/benchjson -out BENCH_pipeline.json
 

@@ -40,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -119,10 +120,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	growth := fs.Bool("growth", false, "run every snapshot on disk and print growth series")
 	storePath := fs.String("store", "", "freeze the inferred footprints into a footstore file (serve it with offnetd)")
 	tolerant := fs.Bool("tolerant", true, "skip malformed corpus records within -max-bad; in -growth, drop corrupt vendor-months instead of aborting")
-	maxBad := fs.Float64("max-bad", 0.05, "per-file error budget: max fraction of malformed records a tolerant read accepts")
+	maxBad := fs.Float64("max-bad", 0.05, "per-file error budget: max fraction of malformed records a tolerant read accepts (0 = zero tolerance)")
 	checkpoint := fs.String("checkpoint", "", "with -growth: persist each completed snapshot to this directory (crash-safe)")
 	resume := fs.Bool("resume", false, "with -checkpoint: reload intact checkpoints instead of recomputing (manifest must match)")
 	jobs := fs.Int("jobs", 1, "with -growth: parallel per-snapshot inference workers (output is identical at any setting)")
+	shards := fs.Int("shards", 0, "per-snapshot record shards; 0 picks NumCPU divided across -jobs workers (output is identical at any setting)")
 	snapTimeout := fs.Duration("snapshot-timeout", 30*time.Minute, "with -growth: per-snapshot watchdog deadline; a stuck snapshot is retried then dropped (0 disables)")
 	metricsPath := fs.String("metrics", "", "write the run's metrics (pipeline funnel, corpus, retry, checkpoint accounting) to this JSON file")
 	verbose := fs.Bool("v", false, "print a human-readable pipeline-funnel summary after the run")
@@ -156,17 +158,35 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *jobs < 1 {
 		return usageError(fmt.Errorf("-jobs must be at least 1"))
 	}
+	if *shards < 0 {
+		return usageError(fmt.Errorf("-shards must be non-negative (0 = auto)"))
+	}
+	if *shards == 0 {
+		// Auto: split the machine's cores across the -jobs snapshot
+		// workers, so jobs×shards stays within the CPU budget.
+		*shards = runtime.NumCPU() / *jobs
+		if *shards < 1 {
+			*shards = 1
+		}
+	}
 	// The registry is always live: every counter is a lock-free atomic,
 	// so instrumenting unconditionally costs nothing measurable and the
 	// -metrics / -v decision reduces to "where to render the snapshot".
 	reg := obs.NewRegistry("offnetmap")
-	opts := corpus.ReadOptions{Tolerant: *tolerant, MaxBadFraction: *maxBad, Metrics: reg}
+	budget := *maxBad
+	if budget <= 0 {
+		// An explicit -max-bad 0 means strictness, not "use the default":
+		// the flag's own default carries the 5% budget.
+		budget = corpus.NoBudget
+	}
+	opts := corpus.ReadOptions{Tolerant: *tolerant, MaxBadFraction: budget, Metrics: reg}
 
 	pipeline, err := pipelineFromManifest(*dir, *certsOnly)
 	if err != nil {
 		return err
 	}
 	pipeline.Metrics = reg
+	pipeline.Shards = *shards
 
 	if *growth {
 		gopt := growthOptions{

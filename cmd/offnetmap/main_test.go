@@ -174,26 +174,51 @@ func TestOffnetmapMetricsDeterministic(t *testing.T) {
 		return out
 	}
 
-	runOnce := func(name string, jobs string) ([]byte, string) {
+	runOnce := func(name string, extra ...string) ([]byte, string) {
 		t.Helper()
 		path := filepath.Join(dir, name)
 		var out strings.Builder
-		err := run(context.Background(),
-			[]string{"-corpus", dir, "-growth", "-jobs", jobs, "-metrics", path, "-v"}, &out)
+		args := append([]string{"-corpus", dir, "-growth", "-metrics", path, "-v"}, extra...)
+		err := run(context.Background(), args, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return counters(path), out.String()
 	}
 
-	seq1, text := runOnce("m1.json", "1")
-	seq2, _ := runOnce("m2.json", "1")
-	par, _ := runOnce("m4.json", "4")
+	seq1, text := runOnce("m1.json", "-jobs", "1", "-shards", "1")
+	seq2, _ := runOnce("m2.json", "-jobs", "1", "-shards", "1")
+	par, _ := runOnce("m4.json", "-jobs", "4", "-shards", "1")
+	sharded, shardedText := runOnce("ms4.json", "-jobs", "1", "-shards", "4")
+	both, bothText := runOnce("mj2s2.json", "-jobs", "2", "-shards", "2")
 	if !reflect.DeepEqual(seq1, seq2) {
 		t.Errorf("counters differ across identical runs:\n%s\n%s", seq1, seq2)
 	}
 	if !reflect.DeepEqual(seq1, par) {
 		t.Errorf("counters differ between -jobs 1 and -jobs 4:\n%s\n%s", seq1, par)
+	}
+	if !reflect.DeepEqual(seq1, sharded) {
+		t.Errorf("counters differ between -shards 1 and -shards 4:\n%s\n%s", seq1, sharded)
+	}
+	if !reflect.DeepEqual(seq1, both) {
+		t.Errorf("counters differ under -jobs 2 -shards 2:\n%s\n%s", seq1, both)
+	}
+	// The printed study itself must also be byte-identical across both
+	// parallelism axes (only the metrics-file name differs per run).
+	norm := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "wrote metrics ") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if a, b := norm(text), norm(shardedText); a != b {
+		t.Errorf("stdout differs between -shards 1 and -shards 4:\n%s\n%s", a, b)
+	}
+	if a, b := norm(text), norm(bothText); a != b {
+		t.Errorf("stdout differs under -jobs 2 -shards 2:\n%s\n%s", a, b)
 	}
 
 	for _, want := range []string{"pipeline funnel:", "cert IPs seen", "HG cert matches",

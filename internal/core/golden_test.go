@@ -50,13 +50,14 @@ type goldenHG struct {
 	ConfirmedIPs  int `json:"confirmed_ips"`
 }
 
-// runGoldenStudy executes the seeded study at the given worker count
-// and freezes everything the golden file pins.
-func runGoldenStudy(t *testing.T, jobs int) *goldenStudy {
+// runGoldenStudy executes the seeded study at the given worker and
+// record-shard counts and freezes everything the golden file pins.
+func runGoldenStudy(t *testing.T, jobs, shards int) *goldenStudy {
 	t.Helper()
 	reg := obs.NewRegistry("golden")
 	p := testPipeline(DefaultOptions())
 	p.Metrics = reg
+	p.Shards = shards
 	profile := scanners.Rapid7Profile()
 	sr, err := p.RunStudyConfig(context.Background(), func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
 		return scanners.Scan(testWorld, profile, s), nil
@@ -137,7 +138,7 @@ func TestGoldenStudyRapid7(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full seeded study")
 	}
-	got := runGoldenStudy(t, 1)
+	got := runGoldenStudy(t, 1, 1)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
@@ -161,5 +162,32 @@ func TestGoldenJobsInvariance(t *testing.T) {
 	if *updateGolden {
 		t.Skip("golden file is written by the sequential run")
 	}
-	compareGolden(t, runGoldenStudy(t, 4))
+	compareGolden(t, runGoldenStudy(t, 4, 1))
+}
+
+// TestGoldenShardsInvariance reruns the study with each snapshot's
+// record loops split across 4 shards: the sharded fold must reproduce
+// every golden number — study output and funnel.* counters alike —
+// byte-identically to the sequential run.
+func TestGoldenShardsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full seeded study")
+	}
+	if *updateGolden {
+		t.Skip("golden file is written by the sequential run")
+	}
+	compareGolden(t, runGoldenStudy(t, 1, 4))
+}
+
+// TestGoldenJobsShardsInvariance stacks both axes — a snapshot worker
+// pool and intra-snapshot record shards — and still demands the exact
+// golden bytes.
+func TestGoldenJobsShardsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full seeded study")
+	}
+	if *updateGolden {
+		t.Skip("golden file is written by the sequential run")
+	}
+	compareGolden(t, runGoldenStudy(t, 2, 2))
 }

@@ -24,6 +24,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"offnetscope/internal/astopo"
@@ -87,11 +88,21 @@ type Pipeline struct {
 	// Metrics, when set, receives the per-stage funnel counters and
 	// stage timers documented in DESIGN.md §7 (funnel.*). Counter
 	// totals are deterministic for a fixed corpus — byte-identical
-	// across runs and across StudyConfig.Jobs settings — because every
-	// stage contributes by commutative addition; only the *_ns timing
-	// histograms vary run to run. Nil disables instrumentation at
-	// effectively zero cost.
+	// across runs and across StudyConfig.Jobs and Shards settings —
+	// because every stage contributes by commutative addition; only the
+	// *_ns timing histograms vary run to run. Nil disables
+	// instrumentation at effectively zero cost.
 	Metrics *obs.Registry
+
+	// Shards bounds the intra-snapshot fan-out: Run splits its
+	// per-record loops (§4.1 validation and each hypergiant's two
+	// record scans) into this many contiguous ranges on as many
+	// goroutines, and builds the header indexes concurrently. Zero or
+	// one means fully sequential. The output is byte-identical at any
+	// setting — partial results fold in shard order (see shard.go) — so
+	// Shards, like StudyConfig.Jobs, is an execution knob: deliberately
+	// not part of Options, and excluded from checkpoint manifests.
+	Shards int
 }
 
 // cloudflareCustomerRe is the §7 filter for Cloudflare-issued customer
@@ -201,12 +212,27 @@ func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
 	}
 	mapper := p.Mapper(snap.Snapshot)
 
+	// The header indexes are independent of validation, so with
+	// sharding enabled they build concurrently with step 1 on two extra
+	// goroutines instead of serializing after it.
+	var httpsIdx, httpIdx map[netmodel.IP][]hg.Header
+	var idxWG sync.WaitGroup
+	if p.Shards > 1 {
+		idxWG.Add(2)
+		go func() { defer idxWG.Done(); httpsIdx = snap.HTTPSHeadersByIP() }()
+		go func() { defer idxWG.Done(); httpIdx = snap.HTTPHeadersByIP() }()
+	}
+
 	valStart := time.Now()
 	records := p.validate(snap, res, mapper)
 	m.Histogram("funnel.validate_ns").Since(valStart)
 
-	httpsIdx := snap.HTTPSHeadersByIP()
-	httpIdx := snap.HTTPHeadersByIP()
+	if p.Shards > 1 {
+		idxWG.Wait()
+	} else {
+		httpsIdx = snap.HTTPSHeadersByIP()
+		httpIdx = snap.HTTPHeadersByIP()
+	}
 
 	matchStart := time.Now()
 	for _, h := range hg.All() {
@@ -240,31 +266,71 @@ func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
 // validate is step 1: verify every chain and annotate records with
 // their origin AS. Invalid chains are dropped (counted by reason)
 // except expired-only leaves, which are kept flagged for the Fig 3
-// envelope.
+// envelope. The record loop shards across Pipeline.Shards goroutines;
+// partials fold in shard order, so the returned slice preserves corpus
+// order and every tally is byte-identical at any shard count.
 func (p *Pipeline) validate(snap *corpus.Snapshot, res *Result, mapper IPMapper) []record {
 	at := snap.ScanTime()
-	records := make([]record, 0, len(snap.Certs))
+	n := len(snap.Certs)
+	parts := make([]*validateShard, p.shardCount(n))
+	forEachShard(n, len(parts), func(shard, lo, hi int) {
+		parts[shard] = p.validateRange(snap.Certs[lo:hi], at, mapper)
+	})
+
+	records := make([]record, 0, n)
 	asSet := make(map[astopo.ASN]struct{})
-	for _, cr := range snap.Certs {
-		res.TotalCertIPs++
+	res.TotalCertIPs = n
+	for _, part := range parts {
+		records = append(records, part.records...)
+		res.ValidCertIPs += part.valid
+		for reason, c := range part.invalid {
+			res.InvalidByReason[reason] += c
+		}
+		for as := range part.asSet {
+			asSet[as] = struct{}{}
+		}
+	}
+	res.TotalCertASes = len(asSet)
+	return records
+}
+
+// validateShard is one shard's step-1 partial result: counts and the AS
+// set merge by addition/union, records concatenate in shard order.
+type validateShard struct {
+	records []record
+	valid   int
+	invalid map[string]int
+	asSet   map[astopo.ASN]struct{}
+}
+
+// validateRange validates one contiguous run of certificate records. It
+// only reads the pipeline's immutable datasets (trust store, mapper),
+// so any number of ranges can run concurrently.
+func (p *Pipeline) validateRange(certs []corpus.CertRecord, at time.Time, mapper IPMapper) *validateShard {
+	part := &validateShard{
+		records: make([]record, 0, len(certs)),
+		invalid: make(map[string]int),
+		asSet:   make(map[astopo.ASN]struct{}),
+	}
+	for _, cr := range certs {
 		asns := mapper.Lookup(cr.IP)
 		for _, as := range asns {
-			asSet[as] = struct{}{}
+			part.asSet[as] = struct{}{}
 		}
 		err := certmodel.Verify(cr.Chain, at, p.Trust)
 		expired := false
 		if err != nil && !p.Opts.DisableChainValidation {
 			reason := certmodel.Reason(err)
-			res.InvalidByReason[reason]++
+			part.invalid[reason]++
 			if reason != certmodel.ReasonExpired {
 				continue
 			}
 			expired = true
 		}
 		if !expired {
-			res.ValidCertIPs++
+			part.valid++
 		}
-		records = append(records, record{
+		part.records = append(part.records, record{
 			ip:       cr.IP,
 			asns:     asns,
 			leaf:     cr.Chain.Leaf(),
@@ -272,11 +338,14 @@ func (p *Pipeline) validate(snap *corpus.Snapshot, res *Result, mapper IPMapper)
 			expired:  expired,
 		})
 	}
-	res.TotalCertASes = len(asSet)
-	return records
+	return part
 }
 
-// runHG executes steps 2-5 for one hypergiant.
+// runHG executes steps 2-5 for one hypergiant. Both record passes —
+// the step-2 fingerprint scan and the step-3/5 candidate scan — shard
+// across Pipeline.Shards goroutines with a shard-order fold, separated
+// by a barrier: the candidate scan needs the complete dNSName
+// fingerprint, which it then only reads.
 func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record, httpsIdx, httpIdx map[netmodel.IP][]hg.Header) *HGResult {
 	hr := &HGResult{
 		HG:                    h.ID,
@@ -297,6 +366,70 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 		onNet[as] = struct{}{}
 	}
 	kw := strings.ToLower(h.Keyword)
+	k := p.shardCount(len(records))
+	fps := make([]*fingerprintShard, k)
+	forEachShard(len(records), k, func(shard, lo, hi int) {
+		fps[shard] = fingerprintRange(records[lo:hi], kw, onNet)
+	})
+	for _, part := range fps {
+		hr.OnNetIPs += part.onNetIPs
+		for fp, c := range part.groups {
+			hr.CertIPGroups[fp] += c
+		}
+		for d := range part.names {
+			hr.DNSNames[d] = struct{}{}
+		}
+	}
+
+	// Steps 3 + 5: candidates outside the on-net ASes, confirmed by
+	// headers. Rejections are tallied by reason so the funnel report
+	// can show where records leave the pipeline (funnel.drop.*).
+	cands := make([]*candidateShard, k)
+	forEachShard(len(records), k, func(shard, lo, hi int) {
+		cands[shard] = p.candidateRange(h, records[lo:hi], kw, onNet, hr.DNSNames, httpsIdx, httpIdx)
+	})
+	var drops dropTally
+	for _, part := range cands {
+		drops.add(&part.drops)
+		sub := part.hr
+		hr.CandidateIPs += sub.CandidateIPs
+		hr.ConfirmedIPs += sub.ConfirmedIPs
+		hr.CandidateIPList = append(hr.CandidateIPList, sub.CandidateIPList...)
+		hr.ConfirmedIPList = append(hr.ConfirmedIPList, sub.ConfirmedIPList...)
+		hr.ExpiredIPs = append(hr.ExpiredIPs, sub.ExpiredIPs...)
+		unionASes(hr.CandidateASes, sub.CandidateASes)
+		unionASes(hr.ConfirmedASes, sub.ConfirmedASes)
+		unionASes(hr.ConfirmedByEitherASes, sub.ConfirmedByEitherASes)
+		unionASes(hr.ConfirmedByBothASes, sub.ConfirmedByBothASes)
+		unionASes(hr.ExpiredASes, sub.ExpiredASes)
+		for fp, c := range sub.CertIPGroups {
+			hr.CertIPGroups[fp] += c
+		}
+	}
+	m := p.Metrics
+	m.Counter("funnel.hg_cert_matches").Add(drops.hgMatches)
+	m.Counter("funnel.drop.expired_cert").Add(drops.expired)
+	m.Counter("funnel.drop.dnsnames_offnet").Add(drops.dnsNames)
+	m.Counter("funnel.drop.cloudflare_customer").Add(drops.cloudflare)
+	m.Counter("funnel.drop.header_unconfirmed").Add(drops.unconfirmed)
+	return hr
+}
+
+// fingerprintShard is one shard's step-2 output; counts add, the group
+// and name maps union.
+type fingerprintShard struct {
+	onNetIPs int
+	groups   map[certmodel.Fingerprint]int
+	names    map[string]struct{}
+}
+
+// fingerprintRange learns the dNSName fingerprint contribution of one
+// contiguous run of records.
+func fingerprintRange(records []record, kw string, onNet map[astopo.ASN]struct{}) *fingerprintShard {
+	part := &fingerprintShard{
+		groups: make(map[certmodel.Fingerprint]int),
+		names:  make(map[string]struct{}),
+	}
 	for i := range records {
 		r := &records[i]
 		if r.expired || !strings.Contains(r.orgLower, kw) {
@@ -305,18 +438,49 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 		if !anyIn(r.asns, onNet) {
 			continue
 		}
-		hr.OnNetIPs++
-		hr.CertIPGroups[r.leaf.Fingerprint()]++
+		part.onNetIPs++
+		part.groups[r.leaf.Fingerprint()]++
 		for _, d := range r.leaf.DNSNames {
-			hr.DNSNames[d] = struct{}{}
+			part.names[d] = struct{}{}
 		}
 	}
+	return part
+}
 
-	// Step 3: candidates outside the on-net ASes. Rejections are
-	// tallied by reason so the funnel report can show where records
-	// leave the pipeline (funnel.drop.*).
-	m := p.Metrics
-	var hgMatches, dropExpired, dropDNSNames, dropCloudflare, dropUnconfirmed int64
+// dropTally counts one shard's step-3/5 rejections by reason.
+type dropTally struct {
+	hgMatches, expired, dnsNames, cloudflare, unconfirmed int64
+}
+
+func (t *dropTally) add(o *dropTally) {
+	t.hgMatches += o.hgMatches
+	t.expired += o.expired
+	t.dnsNames += o.dnsNames
+	t.cloudflare += o.cloudflare
+	t.unconfirmed += o.unconfirmed
+}
+
+// candidateShard is one shard's step-3/5 output, accumulated into a
+// scratch HGResult whose list fields concatenate in shard order and
+// whose set fields union.
+type candidateShard struct {
+	hr    *HGResult
+	drops dropTally
+}
+
+// candidateRange runs the candidate + confirmation scan over one
+// contiguous run of records. dnsNames is the complete step-2
+// fingerprint and is only read, as are the header indexes.
+func (p *Pipeline) candidateRange(h *hg.Hypergiant, records []record, kw string, onNet map[astopo.ASN]struct{}, dnsNames map[string]struct{}, httpsIdx, httpIdx map[netmodel.IP][]hg.Header) *candidateShard {
+	part := &candidateShard{hr: &HGResult{
+		CandidateASes:         make(map[astopo.ASN]struct{}),
+		ConfirmedASes:         make(map[astopo.ASN]struct{}),
+		ConfirmedByEitherASes: make(map[astopo.ASN]struct{}),
+		ConfirmedByBothASes:   make(map[astopo.ASN]struct{}),
+		ExpiredASes:           make(map[astopo.ASN]struct{}),
+		CertIPGroups:          make(map[certmodel.Fingerprint]int),
+	}}
+	hr := part.hr
 	allowExpired := p.Opts.IgnoreExpiryFor[h.ID]
 	for i := range records {
 		r := &records[i]
@@ -326,24 +490,24 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 		if len(r.asns) == 0 || anyIn(r.asns, onNet) {
 			continue
 		}
-		hgMatches++
+		part.drops.hgMatches++
 		if r.expired && !allowExpired {
 			// Track what ignoring expiry would add (Fig 3 envelope).
-			if p.dnsNamesOnNet(r.leaf, hr.DNSNames) && !p.isCloudflareCustomerCert(h.ID, r.leaf) {
+			if p.dnsNamesOnNet(r.leaf, dnsNames) && !p.isCloudflareCustomerCert(h.ID, r.leaf) {
 				for _, as := range r.asns {
 					hr.ExpiredASes[as] = struct{}{}
 				}
 				hr.ExpiredIPs = append(hr.ExpiredIPs, r.ip)
 			}
-			dropExpired++
+			part.drops.expired++
 			continue
 		}
-		if !p.dnsNamesOnNet(r.leaf, hr.DNSNames) {
-			dropDNSNames++
+		if !p.dnsNamesOnNet(r.leaf, dnsNames) {
+			part.drops.dnsNames++
 			continue
 		}
 		if p.isCloudflareCustomerCert(h.ID, r.leaf) {
-			dropCloudflare++
+			part.drops.cloudflare++
 			continue
 		}
 		hr.CandidateIPs++
@@ -379,15 +543,17 @@ func (p *Pipeline) runHG(h *hg.Hypergiant, s timeline.Snapshot, records []record
 				hr.ConfirmedASes[as] = struct{}{}
 			}
 		} else {
-			dropUnconfirmed++
+			part.drops.unconfirmed++
 		}
 	}
-	m.Counter("funnel.hg_cert_matches").Add(hgMatches)
-	m.Counter("funnel.drop.expired_cert").Add(dropExpired)
-	m.Counter("funnel.drop.dnsnames_offnet").Add(dropDNSNames)
-	m.Counter("funnel.drop.cloudflare_customer").Add(dropCloudflare)
-	m.Counter("funnel.drop.header_unconfirmed").Add(dropUnconfirmed)
-	return hr
+	return part
+}
+
+// unionASes folds src into dst.
+func unionASes(dst, src map[astopo.ASN]struct{}) {
+	for as := range src {
+		dst[as] = struct{}{}
+	}
 }
 
 // dnsNamesOnNet applies the §4.3 subset rule: every dNSName on the

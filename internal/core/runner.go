@@ -113,7 +113,14 @@ func (p *Pipeline) RunStudyConfig(ctx context.Context, source StudySource, cfg S
 				defer wg.Done()
 				for s := range work {
 					inf, err := p.inferOnce(wctx, source, s, cfg)
-					slots[s] <- outcome{inf: inf, err: err}
+					// Each slot is buffered and receives at most one send (the
+					// dispatcher hands every snapshot out exactly once), so
+					// this never blocks; the wctx arm is defensive, keeping a
+					// cancelled run's teardown independent of that invariant.
+					select {
+					case slots[s] <- outcome{inf: inf, err: err}:
+					case <-wctx.Done():
+					}
 				}
 			}()
 		}

@@ -234,6 +234,64 @@ func TestRunStudyConfigWatchdogDropsStuckSnapshot(t *testing.T) {
 	}
 }
 
+// TestRunStudyConfigCancelMidRun cancels while workers are in flight:
+// the fold is blocked on the earliest snapshot (whose source wedges
+// until cancellation) while later snapshots have already delivered into
+// their slots. The run must unwind — workers sending after the fold has
+// exited must not block past cancelWorkers() — and report the
+// cancellation. Exercised under -race by make ci's chaos-race target.
+func TestRunStudyConfigCancelMidRun(t *testing.T) {
+	snaps := studyTail(t, 3)
+	p := testPipeline(DefaultOptions())
+	var wedged timeline.Snapshot
+	for s := range snaps {
+		if wedged == 0 || s < wedged {
+			wedged = s
+		}
+	}
+
+	fastDone := make(chan struct{}, len(snaps))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.RunStudyConfig(ctx,
+			func(sctx context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
+				if s == wedged {
+					<-sctx.Done()
+					return nil, sctx.Err()
+				}
+				if snaps[s] != nil {
+					defer func() { fastDone <- struct{}{} }()
+				}
+				return snaps[s], nil
+			},
+			StudyConfig{Jobs: len(snaps)})
+		done <- err
+	}()
+
+	// Wait until both unwedged snapshots have been handed to workers, so
+	// the cancellation lands with outcomes already parked in slots and
+	// the fold still blocked on the wedged snapshot.
+	for i := 0; i < len(snaps)-1; i++ {
+		select {
+		case <-fastDone:
+		case <-time.After(30 * time.Second):
+			t.Fatal("fast snapshots never ran")
+		}
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not unwind after mid-run cancellation")
+	}
+}
+
 func TestRunStudyConfigCancellation(t *testing.T) {
 	snaps := studyTail(t, 2)
 	p := testPipeline(DefaultOptions())

@@ -1,0 +1,48 @@
+package core
+
+import "sync"
+
+// This file is the record-sharding layer behind Pipeline.Shards: the
+// per-snapshot record loops (§4.1 validation and each hypergiant's two
+// record scans) split into contiguous index ranges, run one goroutine
+// per shard, and fold their partial results in shard order. Contiguous
+// ranges plus ordered folds are what keep the output byte-identical at
+// any shard count — slices concatenate back into record order, and
+// every tally or set merges by commutative addition or union — the same
+// invariance contract StudyConfig.Jobs carries across snapshots, pinned
+// by the golden suite.
+
+// shardCount clamps the configured shard fan-out to [1, n] for a loop
+// over n records: never more shards than records, never fewer than one
+// (so an empty input still runs a single empty range).
+func (p *Pipeline) shardCount(n int) int {
+	k := p.Shards
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// forEachShard splits [0, n) into k contiguous near-equal ranges and
+// runs fn(shard, lo, hi) for each — inline when k is 1, otherwise one
+// goroutine per shard, returning only after all complete. Boundaries
+// sit at i*n/k, so the ranges cover the interval exactly in order and
+// differ in size by at most one record.
+func forEachShard(n, k int, fn func(shard, lo, hi int)) {
+	if k <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for shard := 0; shard < k; shard++ {
+		go func(shard int) {
+			defer wg.Done()
+			fn(shard, shard*n/k, (shard+1)*n/k)
+		}(shard)
+	}
+	wg.Wait()
+}

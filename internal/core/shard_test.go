@@ -1,0 +1,99 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"offnetscope/internal/obs"
+)
+
+// TestForEachShardPartition checks the shard geometry directly: for a
+// spread of sizes and fan-outs the ranges must cover [0, n) exactly, in
+// order, with no gap or overlap — the property the deterministic merge
+// rests on.
+func TestForEachShardPartition(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 8}, {7, 3}, {8, 4}, {100, 7}, {3, 16},
+	} {
+		type span struct{ shard, lo, hi int }
+		var mu sync.Mutex
+		var spans []span
+		forEachShard(tc.n, tc.k, func(shard, lo, hi int) {
+			mu.Lock()
+			spans = append(spans, span{shard, lo, hi})
+			mu.Unlock()
+		})
+		want := tc.k
+		if tc.k < 1 {
+			want = 1
+		}
+		if len(spans) != want {
+			t.Fatalf("n=%d k=%d: %d calls, want %d", tc.n, tc.k, len(spans), want)
+		}
+		// Reassemble in shard order and demand exact coverage.
+		byShard := make([]span, len(spans))
+		seen := make(map[int]bool)
+		for _, sp := range spans {
+			if seen[sp.shard] {
+				t.Fatalf("n=%d k=%d: shard %d ran twice", tc.n, tc.k, sp.shard)
+			}
+			seen[sp.shard] = true
+			byShard[sp.shard] = sp
+		}
+		next := 0
+		for i, sp := range byShard {
+			if sp.lo != next {
+				t.Fatalf("n=%d k=%d: shard %d starts at %d, want %d", tc.n, tc.k, i, sp.lo, next)
+			}
+			if sp.hi < sp.lo {
+				t.Fatalf("n=%d k=%d: shard %d has inverted range [%d,%d)", tc.n, tc.k, i, sp.lo, sp.hi)
+			}
+			next = sp.hi
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d k=%d: ranges end at %d, want %d", tc.n, tc.k, next, tc.n)
+		}
+	}
+}
+
+func TestShardCountClamps(t *testing.T) {
+	for _, tc := range []struct{ shards, n, want int }{
+		{0, 100, 1},  // unset → sequential
+		{-3, 100, 1}, // nonsense → sequential
+		{4, 100, 4},  // plenty of records
+		{8, 3, 3},    // never more shards than records
+		{4, 0, 1},    // empty input still runs one empty range
+	} {
+		p := &Pipeline{Shards: tc.shards}
+		if got := p.shardCount(tc.n); got != tc.want {
+			t.Errorf("Shards=%d n=%d: shardCount = %d, want %d", tc.shards, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestRunShardInvariance is the single-snapshot core of the determinism
+// contract: the full inference result and every deterministic metric
+// counter must be identical at any shard count.
+func TestRunShardInvariance(t *testing.T) {
+	snap := rapid7At(t, lastSnap)
+
+	runAt := func(shards int) (*Result, map[string]int64) {
+		reg := obs.NewRegistry("shardinv")
+		p := testPipeline(DefaultOptions())
+		p.Metrics = reg
+		p.Shards = shards
+		return p.Run(snap), reg.Snapshot().Counters
+	}
+
+	wantRes, wantCtr := runAt(1)
+	for _, shards := range []int{2, 3, 8} {
+		gotRes, gotCtr := runAt(shards)
+		if !reflect.DeepEqual(wantRes, gotRes) {
+			t.Errorf("Shards=%d: inference result diverges from sequential run", shards)
+		}
+		if !reflect.DeepEqual(wantCtr, gotCtr) {
+			t.Errorf("Shards=%d: counters diverge from sequential run\nwant %v\ngot  %v", shards, wantCtr, gotCtr)
+		}
+	}
+}

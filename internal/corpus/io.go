@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"offnetscope/internal/certmodel"
@@ -120,11 +121,17 @@ func writeHeaderFile(path string, records []HeaderRecord) error {
 	})
 }
 
-// writeNDJSON is crash-safe: it streams into a temp file in the target
-// directory and renames it into place only after the gzip stream is
-// finalized and fsynced, so a killed run can never leave a truncated
-// *.ndjson.gz behind to poison later reads — at worst it leaves a
-// *.tmp-* file that the next Write simply ignores.
+// writeNDJSON is crash-safe and durable: it streams into a temp file in
+// the target directory, renames it into place only after the gzip
+// stream is finalized and fsynced, and then fsyncs the parent directory
+// so the rename itself survives power loss — without the directory
+// sync the new name can live only in the page cache, and a crash could
+// resurface the old file (or nothing) at path even though the rename
+// "succeeded". A killed run can never leave a truncated *.ndjson.gz
+// behind to poison later reads — at worst it leaves a *.tmp-* file that
+// the next Write simply ignores. The crash suite pins both halves:
+// TestWriteNDJSONCrashSafe the atomicity, TestWriteNDJSONSyncsDir the
+// directory sync.
 func writeNDJSON(path string, n int, encode func(*json.Encoder, int) error) (err error) {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -163,6 +170,28 @@ func writeNDJSON(path string, n int, encode func(*json.Encoder, int) error) (err
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
+	if err = fsyncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// fsyncDir makes a completed rename in dir durable by syncing the
+// directory itself. It is a variable so the crash suite can observe
+// that every successful write syncs its directory.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("corpus: syncing %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("corpus: %w", cerr)
+	}
 	return nil
 }
 
@@ -178,7 +207,9 @@ type ReadOptions struct {
 	// MaxBadFraction is the per-file error budget: the tolerant read
 	// fails with ErrBudgetExceeded once skipped records exceed this
 	// fraction of the records seen — strictly exceed, so a file exactly
-	// at the budget still passes. Zero or negative means the 5% default.
+	// at the budget still passes. The zero value (unset) means the 5%
+	// default; any negative value — use the NoBudget sentinel — means
+	// zero tolerance: a single skipped record fails the read.
 	MaxBadFraction float64
 
 	// Metrics, when set, receives read/skip accounting (corpus.* in
@@ -188,11 +219,21 @@ type ReadOptions struct {
 	Metrics *obs.Registry
 }
 
+// NoBudget is the MaxBadFraction sentinel for zero tolerance: any
+// skipped record fails the tolerant read. It exists because the zero
+// value must keep meaning "unset, use the default" — an explicit 0
+// would otherwise be indistinguishable and silently become 5%.
+const NoBudget = -1.0
+
 func (o ReadOptions) budget() float64 {
-	if o.MaxBadFraction <= 0 {
-		return 0.05
+	switch {
+	case o.MaxBadFraction < 0:
+		return 0 // NoBudget: zero tolerance
+	case o.MaxBadFraction == 0:
+		return 0.05 // unset: the documented default
+	default:
+		return o.MaxBadFraction
 	}
-	return o.MaxBadFraction
 }
 
 // ErrBudgetExceeded reports that a file blew through its tolerant-mode
@@ -334,6 +375,13 @@ func Read(root string, vendor Vendor, s timeline.Snapshot) (*Snapshot, error) {
 // fails only when a file exceeds its error budget or is damaged at the
 // gzip level. The returned stats are valid (for inspection) even when
 // err is non-nil.
+//
+// The three corpus files decode concurrently, each on its own
+// goroutine — gzip inflation and JSON decoding dominate a snapshot
+// read, and the files share nothing. Stats ordering and error
+// precedence follow the fixed file order (certs, https, http)
+// regardless of which read finishes or fails first, so the returned
+// error, the stats, and the snapshot are all deterministic.
 func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOptions) (snap *Snapshot, stats *ReadStats, err error) {
 	start := time.Now()
 	stats = &ReadStats{}
@@ -358,16 +406,32 @@ func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOpt
 	snap = &Snapshot{Vendor: vendor, Snapshot: s}
 	interned := make(map[certmodel.Fingerprint]*certmodel.Certificate)
 
-	name := "certs.ndjson.gz"
-	err = readNDJSONFile(filepath.Join(dir, name), opts, stats.file(name), certLineDecoder(snap, interned))
-	if err != nil {
-		return nil, stats, err
-	}
-	if snap.HTTPS, err = readHeaderFile(filepath.Join(dir, "https_headers.ndjson.gz"), opts, stats); err != nil {
-		return nil, stats, err
-	}
-	if snap.HTTP, err = readHeaderFile(filepath.Join(dir, "http_headers.ndjson.gz"), opts, stats); err != nil {
-		return nil, stats, err
+	// FileStats are registered up front so stats.Files keeps the file
+	// order however the concurrent reads interleave; each goroutine
+	// owns its own FileStats and its own slice of the snapshot.
+	certFS := stats.file("certs.ndjson.gz")
+	httpsFS := stats.file("https_headers.ndjson.gz")
+	httpFS := stats.file("http_headers.ndjson.gz")
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		errs[0] = readNDJSONFile(filepath.Join(dir, certFS.Name), opts, certFS, certLineDecoder(snap, interned))
+	}()
+	go func() {
+		defer wg.Done()
+		snap.HTTPS, errs[1] = readHeaderFile(filepath.Join(dir, httpsFS.Name), opts, httpsFS)
+	}()
+	go func() {
+		defer wg.Done()
+		snap.HTTP, errs[2] = readHeaderFile(filepath.Join(dir, httpFS.Name), opts, httpFS)
+	}()
+	wg.Wait()
+	for _, err = range errs {
+		if err != nil {
+			return nil, stats, err
+		}
 	}
 	return snap, stats, nil
 }
@@ -401,9 +465,9 @@ func certLineDecoder(snap *Snapshot, interned map[certmodel.Fingerprint]*certmod
 	}
 }
 
-func readHeaderFile(path string, opts ReadOptions, stats *ReadStats) ([]HeaderRecord, error) {
+func readHeaderFile(path string, opts ReadOptions, fs *FileStats) ([]HeaderRecord, error) {
 	var out []HeaderRecord
-	err := readNDJSONFile(path, opts, stats.file(filepath.Base(path)), headerLineDecoder(&out))
+	err := readNDJSONFile(path, opts, fs, headerLineDecoder(&out))
 	return out, err
 }
 
@@ -473,7 +537,9 @@ func decodeNDJSON(r io.Reader, name string, opts ReadOptions, fs *FileStats, dec
 					return fmt.Errorf("corpus: decoding %s line %d: %w", name, lineNo, derr)
 				}
 				fs.skip(reasonOf(derr))
-				if fs.Records+fs.Skipped >= minSampleForEarlyAbort && overBudget() {
+				// A zero budget needs no sample to judge the fraction:
+				// any skip already exceeds it, so abort on the first.
+				if (budget == 0 || fs.Records+fs.Skipped >= minSampleForEarlyAbort) && overBudget() {
 					return fmt.Errorf("%w: %s after %d lines (%s)", ErrBudgetExceeded, name, lineNo, fs)
 				}
 			} else {

@@ -197,7 +197,9 @@ func TestTolerantReadEarlyAbort(t *testing.T) {
 // TestTolerantBudgetBoundary pins the error-budget comparison: skipped
 // records must strictly exceed MaxBadFraction of the records seen, so a
 // file landing exactly on the budget still reads, and one more record
-// over fails it. Zero or negative MaxBadFraction means the 5% default.
+// over fails it. The zero value (unset) means the 5% default; negative
+// values — the NoBudget sentinel — mean zero tolerance, so an explicit
+// strict budget is expressible and can no longer silently widen to 5%.
 func TestTolerantBudgetBoundary(t *testing.T) {
 	decodeBad := func(b []byte) error {
 		if string(b) == "bad" {
@@ -226,10 +228,11 @@ func TestTolerantBudgetBoundary(t *testing.T) {
 	}{
 		{"exactly at explicit budget", ReadOptions{Tolerant: true, MaxBadFraction: 0.05}, 100, 5, false},
 		{"one record over explicit budget", ReadOptions{Tolerant: true, MaxBadFraction: 0.05}, 100, 6, true},
-		{"zero budget means 5% default", ReadOptions{Tolerant: true}, 100, 5, false},
-		{"zero budget still enforces the default", ReadOptions{Tolerant: true}, 100, 6, true},
-		{"negative budget means 5% default", ReadOptions{Tolerant: true, MaxBadFraction: -1}, 100, 5, false},
-		{"negative budget still enforces the default", ReadOptions{Tolerant: true, MaxBadFraction: -1}, 100, 6, true},
+		{"unset budget means 5% default", ReadOptions{Tolerant: true}, 100, 5, false},
+		{"unset budget still enforces the default", ReadOptions{Tolerant: true}, 100, 6, true},
+		{"NoBudget passes a clean file", ReadOptions{Tolerant: true, MaxBadFraction: NoBudget}, 100, 0, false},
+		{"NoBudget rejects a single skip", ReadOptions{Tolerant: true, MaxBadFraction: NoBudget}, 100, 1, true},
+		{"any negative value is zero tolerance", ReadOptions{Tolerant: true, MaxBadFraction: -0.5}, 100, 1, true},
 	} {
 		fs := &FileStats{Name: "boundary"}
 		err := decodeNDJSON(strings.NewReader(input(tc.total, tc.bad)), "boundary", tc.opts, fs, decodeBad)
@@ -245,6 +248,26 @@ func TestTolerantBudgetBoundary(t *testing.T) {
 					tc.name, fs.Skipped, fs.Records, tc.bad, tc.total-tc.bad)
 			}
 		}
+	}
+}
+
+// A zero-tolerance read needs no sample to judge the fraction: it must
+// abort on the first skipped record, not after the early-abort sample
+// or — worse — the whole file.
+func TestTolerantZeroToleranceAbortsOnFirstSkip(t *testing.T) {
+	var raw strings.Builder
+	for i := 0; i < 10000; i++ {
+		raw.WriteString("junk line\n")
+	}
+	fs := &FileStats{Name: "junk"}
+	err := decodeNDJSON(strings.NewReader(raw.String()), "junk",
+		ReadOptions{Tolerant: true, MaxBadFraction: NoBudget}, fs,
+		func([]byte) error { return badRecord("json", errors.New("nope")) })
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if fs.Skipped != 1 {
+		t.Fatalf("read %d bad records before aborting, want 1", fs.Skipped)
 	}
 }
 
@@ -319,5 +342,40 @@ func TestWriteNDJSONCrashSafe(t *testing.T) {
 	}
 	if _, err := io.ReadAll(gz); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteNDJSONSyncsDir pins the durability half of the crash-safety
+// claim: a successful writeNDJSON must fsync the parent directory after
+// the rename (or the rename may not survive power loss), and a failed
+// write — whose rename never happens — must not.
+func TestWriteNDJSONSyncsDir(t *testing.T) {
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+	var synced []string
+	fsyncDir = func(dir string) error {
+		synced = append(synced, dir)
+		return orig(dir)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.ndjson.gz")
+	if err := writeNDJSON(path, 2, func(enc *json.Encoder, i int) error {
+		return enc.Encode(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("successful write synced %v, want exactly [%s]", synced, dir)
+	}
+
+	synced = nil
+	boom := errors.New("boom")
+	err := writeNDJSON(path, 1, func(*json.Encoder, int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the encode error", err)
+	}
+	if len(synced) != 0 {
+		t.Fatalf("failed write synced the directory (%v) despite no rename", synced)
 	}
 }

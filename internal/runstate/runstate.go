@@ -185,7 +185,8 @@ func (d *Dir) Load(s timeline.Snapshot) *core.CheckpointData {
 const tmpPrefix = ".tmp-"
 
 // writeAtomic is the footstore/corpus write discipline: temp file in
-// the target's directory, write, fsync, close, chmod, rename.
+// the target's directory, write, fsync, close, chmod, rename, then
+// fsync the directory so the rename itself survives power loss.
 func writeAtomic(path string, raw []byte) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-*")
@@ -215,6 +216,18 @@ func writeAtomic(path string, raw []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("runstate: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("runstate: syncing %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("runstate: %w", cerr)
 	}
 	return nil
 }
