@@ -1,14 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke experiments corpus serve clean
+.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest experiments corpus serve clean
 
 all: build vet test
 
 # The full pre-merge gate: build, vet, unit tests, the race detector,
 # a short fuzz pass over every decoder, the chaos/fault-injection
-# suite under race, the golden-regression suite, and one-iteration
-# benchmark smoke.
-ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke
+# suite under race, the golden-regression suite, one-iteration
+# benchmark smoke, and the serving-stack load smoke.
+ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest
 
 build:
 	go build ./...
@@ -43,12 +43,14 @@ fuzz-smoke:
 # The fault-injection suite under the race detector: corrupted-corpus
 # ingestion, the kill/resume crash-equivalence suite, parallel-runner
 # determinism (including the mid-run cancellation regression), hot
-# reload under load, and the chaos reader itself.
+# reload under load, the serving engine's cache/batch/reload races,
+# the SIGHUP-under-loadgen-traffic e2e, and the chaos reader itself.
 chaos-race:
 	go test -race ./internal/chaos ./internal/resilience ./internal/runstate ./internal/obs
 	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe|TestCrashResume|TestGrowthJobs' ./internal/corpus ./cmd/offnetmap
 	go test -race -run 'TestRunStudyConfig' ./internal/core
-	go test -race -run 'TestHotReload|TestSIGHUP|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration' ./cmd/offnetd
+	go test -race -run 'TestHotReload|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration|TestCache|TestBatch|TestConcurrentLoad' ./internal/offnetserve
+	go test -race -run 'TestSIGHUP' ./cmd/offnetd
 
 # The golden-regression suite: exact funnel metrics, growth series,
 # and report tables of the seeded study — sequential, parallel (-jobs),
@@ -65,9 +67,24 @@ bench:
 	go test -bench=. -benchmem -run='^$$' . ./internal/core | go run ./cmd/benchjson -out BENCH_pipeline.json
 
 # One iteration of every benchmark — catches bit-rotted benchmark code
-# in CI without paying for a measurement run.
+# in CI without paying for a measurement run. The serving benchmarks
+# run -short (one iteration is a whole workload replay there).
 bench-smoke:
 	go test -bench=. -benchtime=1x -benchmem -run='^$$' . ./internal/core
+	go test -bench=. -benchtime=1x -benchmem -short -run='^$$' ./internal/loadgen
+
+# The serving benchmarks behind BENCH_offnetd.json: 1M-lookup zipfian
+# workloads through the in-process offnetd engine — cache-on vs
+# cache-off, and batched vs single-request framing. -benchtime=1x
+# because one iteration IS the full workload.
+bench-serve:
+	go test -bench=BenchmarkServe -benchtime=1x -benchmem -run='^$$' ./internal/loadgen | go run ./cmd/benchjson -out BENCH_offnetd.json
+
+# Serving-stack load smoke for CI: a short seeded loadgen run against
+# the in-process offnetd engine must finish healthy (nonzero QPS, zero
+# 5xx) and reproduce its trace hash.
+loadtest:
+	go test -run 'TestLoadtestSmoke|TestTraceDeterminism' -count=1 ./cmd/loadgen
 
 # Regenerate every table/figure/validation at the default scale and
 # refresh the committed results (plus CSV exports for plotting).

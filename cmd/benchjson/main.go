@@ -1,12 +1,17 @@
 // Command benchjson turns `go test -bench` text output into a stable
-// JSON document for CI trend tracking. It tees: stdin passes through to
-// stdout unchanged (so the human-readable table still shows in the
-// terminal), while every benchmark result line is parsed and the sorted
-// set written to -out.
-//
-// Usage:
+// JSON document for CI trend tracking. Reading stdin, it tees: input
+// passes through to stdout unchanged (so the human-readable table
+// still shows in the terminal), while every benchmark result line is
+// parsed and the sorted set written to -out. Given positional file
+// arguments it reads those instead — several runs can then land in one
+// document without clobbering another suite's report:
 //
 //	go test -bench=. -benchmem -run='^$' ./internal/core | benchjson -out BENCH_pipeline.json
+//	benchjson -out BENCH_offnetd.json serve-on.txt serve-off.txt
+//
+// Besides the standard ns/op, B/op, and allocs/op columns, any custom
+// metrics a benchmark reports via b.ReportMetric (qps, p99_ns, ...)
+// are captured under "extras".
 package main
 
 import (
@@ -17,35 +22,29 @@ import (
 	"io"
 	"log"
 	"os"
-	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
-
-// benchLineRe matches one result line, e.g.
-//
-//	BenchmarkStageValidate-8   22   51234567 ns/op   9092360 B/op   164253 allocs/op
-//
-// The -N GOMAXPROCS suffix is stripped; the B/op and allocs/op columns
-// only appear under -benchmem.
-var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // contextKeys are the `go test` preamble lines worth keeping (machine
 // identification for comparing results across hosts).
 var contextKeys = []string{"goos", "goarch", "pkg", "cpu"}
 
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extras      map[string]float64 `json:"extras,omitempty"`
 }
 
 type document struct {
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks []result          `json:"benchmarks"`
+
+	byName map[string]result // accumulator across inputs; frozen by finish()
 }
 
 func main() {
@@ -53,12 +52,26 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "BENCH_pipeline.json", "file to write the parsed results to")
 	flag.Parse()
-	doc, err := parse(os.Stdin, os.Stdout)
-	if err != nil {
+
+	doc := &document{Context: map[string]string{}, byName: map[string]result{}}
+	if args := flag.Args(); len(args) > 0 {
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = doc.consume(f, os.Stdout)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+	} else if err := doc.consume(os.Stdin, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	doc.finish()
 	if len(doc.Benchmarks) == 0 {
-		log.Fatal("no benchmark result lines on stdin")
+		log.Fatal("no benchmark result lines in the input")
 	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -70,27 +83,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Benchmarks), *out)
 }
 
-// parse tees r to w while collecting benchmark lines. Duplicate names
-// (e.g. -count>1) keep the last observation.
+// parse collects one input into a fresh document — the single-input
+// form the tests and the stdin path use.
 func parse(r io.Reader, w io.Writer) (*document, error) {
-	doc := &document{Context: map[string]string{}}
-	byName := map[string]result{}
+	doc := &document{Context: map[string]string{}, byName: map[string]result{}}
+	if err := doc.consume(r, w); err != nil {
+		return nil, err
+	}
+	doc.finish()
+	return doc, nil
+}
+
+// consume tees r to w while collecting benchmark lines into the
+// document. Duplicate names (e.g. -count>1, or the same suite rendered
+// from two files) keep the last observation.
+func (doc *document) consume(r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(w, line)
-		if m := benchLineRe.FindStringSubmatch(line); m != nil {
-			res := result{Name: m[1]}
-			res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-			res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-			if m[4] != "" {
-				res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			}
-			if m[5] != "" {
-				res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-			}
-			byName[res.Name] = res
+		if res, ok := parseBenchLine(line); ok {
+			doc.byName[res.Name] = res
 			continue
 		}
 		for _, key := range contextKeys {
@@ -99,15 +113,67 @@ func parse(r io.Reader, w io.Writer) (*document, error) {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
+	return sc.Err()
+}
+
+// finish freezes the accumulated results into sorted order.
+func (doc *document) finish() {
 	if len(doc.Context) == 0 {
 		doc.Context = nil
 	}
-	for _, res := range byName {
+	doc.Benchmarks = doc.Benchmarks[:0]
+	for _, res := range doc.byName {
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
 	sort.Slice(doc.Benchmarks, func(i, j int) bool { return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name })
-	return doc, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkServe1M-8   1   341381083 ns/op   58884 qps   16383 p50_ns   94125560 B/op   848252 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped. After the iteration count the
+// line is (value, unit) pairs: ns/op, B/op, and allocs/op land in
+// dedicated fields, anything else (b.ReportMetric output) in Extras.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Name: name, Iterations: iters}
+	sawNsPerOp := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNsPerOp = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Extras == nil {
+				res.Extras = map[string]float64{}
+			}
+			res.Extras[unit] = v
+		}
+	}
+	if !sawNsPerOp {
+		return result{}, false
+	}
+	return res, true
 }

@@ -46,6 +46,88 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// sampleServe is loadgen-style output: custom b.ReportMetric columns
+// between ns/op and the -benchmem pair.
+const sampleServe = `goos: linux
+pkg: offnetscope/internal/loadgen
+BenchmarkServe1MZipfianCacheOn-8  	       1	 341381083 ns/op	     58884 lookups/s	     16383 p50_ns	    262143 p999_ns	     65535 p99_ns	     58884 qps	94125560 B/op	  848252 allocs/op
+PASS
+`
+
+func TestParseExtras(t *testing.T) {
+	var out strings.Builder
+	doc, err := parse(strings.NewReader(sampleServe), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkServe1MZipfianCacheOn" || b.NsPerOp != 341381083 ||
+		b.BytesPerOp != 94125560 || b.AllocsPerOp != 848252 {
+		t.Errorf("standard columns: %+v", b)
+	}
+	want := map[string]float64{
+		"lookups/s": 58884, "p50_ns": 16383, "p999_ns": 262143, "p99_ns": 65535, "qps": 58884,
+	}
+	if len(b.Extras) != len(want) {
+		t.Fatalf("extras = %v, want %v", b.Extras, want)
+	}
+	for k, v := range want {
+		if b.Extras[k] != v {
+			t.Errorf("extras[%q] = %v, want %v", k, b.Extras[k], v)
+		}
+	}
+}
+
+// TestMultipleInputs: consuming several bench outputs accumulates one
+// sorted document, later inputs winning name collisions.
+func TestMultipleInputs(t *testing.T) {
+	var out strings.Builder
+	doc := &document{Context: map[string]string{}, byName: map[string]result{}}
+	if err := doc.consume(strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.consume(strings.NewReader(sampleServe), &out); err != nil {
+		t.Fatal(err)
+	}
+	// A rerun of an existing name replaces it.
+	rerun := "BenchmarkStageCertMatch 	 100 	 999 ns/op\n"
+	if err := doc.consume(strings.NewReader(rerun), &out); err != nil {
+		t.Fatal(err)
+	}
+	doc.finish()
+
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	names := make([]string, len(doc.Benchmarks))
+	for i, b := range doc.Benchmarks {
+		names[i] = b.Name
+	}
+	wantOrder := []string{
+		"BenchmarkServe1MZipfianCacheOn", "BenchmarkStageCertMatch",
+		"BenchmarkStageValidate", "BenchmarkStudyJobs4",
+	}
+	for i, w := range wantOrder {
+		if names[i] != w {
+			t.Fatalf("order = %v, want %v", names, wantOrder)
+		}
+	}
+	if doc.Benchmarks[1].NsPerOp != 999 {
+		t.Errorf("rerun did not replace: %+v", doc.Benchmarks[1])
+	}
+	// Context merges across inputs.
+	if doc.Context["goarch"] != "amd64" || doc.Context["pkg"] != "offnetscope/internal/loadgen" {
+		t.Errorf("context = %v", doc.Context)
+	}
+	// Tee passed every input through.
+	if !strings.Contains(out.String(), "BenchmarkStudyJobs4") || !strings.Contains(out.String(), "qps") {
+		t.Error("tee output incomplete")
+	}
+}
+
 func TestParseNoResults(t *testing.T) {
 	var out strings.Builder
 	doc, err := parse(strings.NewReader("no benchmarks here\n"), &out)

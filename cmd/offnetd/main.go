@@ -3,29 +3,41 @@
 // an immutable store produced by `offnetmap -store`, then answers
 // lookup queries from any number of concurrent clients:
 //
-//	GET /v1/snapshots                         the study window in the store
-//	GET /v1/ip/{ip}                           who serves from this address, since when
-//	GET /v1/as/{asn}                          a network's hypergiant tenants over time
-//	GET /v1/hg/{id}/footprint?snapshot=YYYY-MM   one hypergiant's off-net AS set
-//	GET /healthz                              liveness (never consumes a worker)
-//	GET /readyz                               readiness: a valid store is loaded
-//	GET /debug/vars                           request counters + latency histograms (expvar)
-//	GET /debug/metrics                        the full obs metrics registry as one JSON snapshot
-//	GET /debug/pprof/...                      runtime profiles (only with -pprof)
+//	GET  /v1/snapshots                        the study window in the store
+//	GET  /v1/ip/{ip}                          who serves from this address, since when
+//	GET  /v1/as/{asn}                         a network's hypergiant tenants over time
+//	GET  /v1/hg/{id}/footprint?snapshot=YYYY-MM  one hypergiant's off-net AS set
+//	POST /v1/batch                            bulk IP→HG resolution: {"ips": [...]}, one
+//	                                          worker slot per batch (limit: -max-batch)
+//	GET  /healthz                             liveness (never consumes a worker)
+//	GET  /readyz                              readiness: a valid store is loaded
+//	GET  /debug/vars                          request counters + latency histograms (expvar)
+//	GET  /debug/metrics                       the full obs metrics registry as one JSON snapshot
+//	GET  /debug/pprof/...                     runtime profiles (only with -pprof)
 //
 // Usage:
 //
-//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s] [-queue-wait 1s] [-pprof]
+//	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s]
+//	        [-queue-wait 1s] [-cache 4096] [-max-batch 1024] [-pprof]
 //
-// Production behavior: requests beyond the worker pool queue up to
-// -queue-wait and are then shed with 429 + Retry-After (the hint is
-// -queue-wait rounded up to whole seconds); handler panics cost one
-// 500, never the process. SIGHUP re-opens the store file, validates
-// it, and atomically swaps it in with zero downtime (a bad file is
-// rejected and the current store keeps serving); the store generation
-// counter and last-reload timestamp under offnetd.store in /debug/vars
-// confirm a reload actually landed. The daemon shuts down gracefully
-// on SIGINT/SIGTERM.
+// Every /v1/* response body carries the store "generation" it was
+// answered from, so clients can detect reload races. -cache N keeps the
+// N hottest answers in a singleflight-deduped LRU keyed by (query,
+// generation); a SIGHUP reload bumps the generation and flushes the
+// cache wholesale, so a stale answer can never be served (-cache 0
+// disables caching). Production behavior: requests beyond the worker
+// pool queue up to -queue-wait and are then shed with 429 +
+// Retry-After (the hint is -queue-wait rounded up to whole seconds);
+// handler panics cost one 500, never the process. SIGHUP re-opens the
+// store file, validates it, and atomically swaps it in with zero
+// downtime (a bad file is rejected and the current store keeps
+// serving); the store generation counter and last-reload timestamp
+// under offnetd.store in /debug/vars confirm a reload actually landed.
+// The daemon shuts down gracefully on SIGINT/SIGTERM.
+//
+// The serving engine itself lives in internal/offnetserve, so the load
+// generator (cmd/loadgen) and the serving benchmarks can drive the
+// identical handler stack in-process.
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	"offnetscope/internal/footstore"
+	"offnetscope/internal/offnetserve"
 )
 
 func main() {
@@ -61,6 +74,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 256, "max concurrently served requests")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	queueWait := fs.Duration("queue-wait", time.Second, "max time a request queues for a worker before a 429 shed")
+	cacheSize := fs.Int("cache", 4096, "query-cache capacity in entries (0 disables the cache)")
+	maxBatch := fs.Int("max-batch", offnetserve.DefaultMaxBatch, "max IPs per /v1/batch request")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (CPU profiles need ?seconds= below -timeout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +91,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "loaded %s: %s\n", *storePath, storeSummary(st))
 
-	s := newServer(st, *workers, *queueWait)
+	s := offnetserve.New(st, offnetserve.Config{
+		Workers:   *workers,
+		QueueWait: *queueWait,
+		CacheSize: *cacheSize,
+		MaxBatch:  *maxBatch,
+	})
 	if *pprofOn {
-		s.enablePprof()
+		s.EnablePprof()
 		fmt.Fprintln(stdout, "pprof enabled at /debug/pprof/")
 	}
 	srv := &http.Server{
@@ -90,8 +110,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "serving on http://%s (workers=%d timeout=%s queue-wait=%s)\n",
-		ln.Addr(), *workers, *timeout, *queueWait)
+	fmt.Fprintf(stdout, "serving on http://%s (workers=%d timeout=%s queue-wait=%s cache=%d max-batch=%d)\n",
+		ln.Addr(), *workers, *timeout, *queueWait, *cacheSize, *maxBatch)
 
 	// Hot reload: SIGHUP re-opens the store file. footstore.Open fully
 	// validates the file (magic, version, CRC) before we swap the
@@ -114,7 +134,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				continue
 			}
 			s.Reload(next)
-			fmt.Fprintf(stdout, "reloaded %s: %s\n", *storePath, storeSummary(next))
+			fmt.Fprintf(stdout, "reloaded %s (generation %d): %s\n", *storePath, s.Generation(), storeSummary(next))
 		case <-ctx.Done():
 			fmt.Fprintln(stdout, "shutting down")
 			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

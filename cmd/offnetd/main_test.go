@@ -4,23 +4,28 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
-	"net/http/httptest"
+	"os"
+	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"offnetscope/internal/astopo"
-	"offnetscope/internal/core"
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
+	"offnetscope/internal/loadgen"
 	"offnetscope/internal/netmodel"
-	"offnetscope/internal/obs"
-	"offnetscope/internal/scanners"
 	"offnetscope/internal/timeline"
-	"offnetscope/internal/worldsim"
 )
+
+// The server engine (handlers, cache, batch, shedding) is tested in
+// internal/offnetserve; this file covers the daemon envelope: flag
+// parsing, the listen/serve/shutdown lifecycle, and the SIGHUP reload
+// path end to end over a real socket.
 
 // testStore hand-builds a tiny store: Google in AS100 (2020-10 on) and
 // AS200 (all three snapshots), Netflix in AS200 at the last snapshot,
@@ -52,290 +57,32 @@ func testStore(t testing.TB) *footstore.Store {
 	return st
 }
 
-func getJSON(t *testing.T, handler http.Handler, url string, wantCode int) map[string]any {
+// altStore differs from testStore (two snapshots, bigger Google
+// footprint at the latest one), so a served response reveals which
+// version answered it.
+func altStore(t testing.TB) *footstore.Store {
 	t.Helper()
-	req := httptest.NewRequest("GET", url, nil)
-	rec := httptest.NewRecorder()
-	handler.ServeHTTP(rec, req)
-	if rec.Code != wantCode {
-		t.Fatalf("GET %s = %d, want %d: %s", url, rec.Code, wantCode, rec.Body.String())
-	}
-	var out map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
-		t.Fatalf("GET %s: bad JSON: %v", url, err)
-	}
-	return out
-}
-
-func hostingHGs(v map[string]any) []string {
-	var out []string
-	hostings, _ := v["hostings"].([]any)
-	for _, h := range hostings {
-		m := h.(map[string]any)
-		out = append(out, m["hg"].(string))
-	}
-	return out
-}
-
-func TestEndpoints(t *testing.T) {
-	h := newServer(testStore(t), 8, 0)
-
-	snaps := getJSON(t, h, "/v1/snapshots", 200)
-	if snaps["latest"] != "2021-04" {
-		t.Errorf("latest = %v", snaps["latest"])
-	}
-	if got := snaps["snapshots"].([]any); len(got) != 3 || got[0] != "2020-10" {
-		t.Errorf("snapshots = %v", got)
-	}
-
-	// IP inside the /24: AS200, hosted by Google and Netflix.
-	ip := getJSON(t, h, "/v1/ip/10.1.2.3", 200)
-	if ip["mapped"] != true || ip["prefix"] != "10.1.2.0/24" {
-		t.Errorf("ip response = %v", ip)
-	}
-	// Google's AS200 run spans all three snapshots, Netflix's one.
-	if got := hostingHGs(ip); len(got) != 2 || got[0] != "Google" || got[1] != "Netflix" {
-		t.Errorf("hostings = %v", got)
-	}
-	// IP inside the /16 but outside the /24: AS100, Google only, and
-	// its run is split (2020-10, then 2021-04).
-	ip = getJSON(t, h, "/v1/ip/10.1.99.1", 200)
-	if got := hostingHGs(ip); len(got) != 2 || got[0] != "Google" || got[1] != "Google" {
-		t.Errorf("AS100 hostings = %v", got)
-	}
-	unmapped := getJSON(t, h, "/v1/ip/192.0.2.1", 200)
-	if unmapped["mapped"] != false || len(unmapped["hostings"].([]any)) != 0 {
-		t.Errorf("unmapped ip response = %v", unmapped)
-	}
-	getJSON(t, h, "/v1/ip/not-an-ip", 400)
-
-	as := getJSON(t, h, "/v1/as/200", 200)
-	hgs := hostingHGs(as)
-	if len(hgs) != 2 || hgs[0] != "Google" || hgs[1] != "Netflix" {
-		t.Errorf("as/200 hostings = %v", hgs)
-	}
-	if got := hostingHGs(getJSON(t, h, "/v1/as/999", 200)); len(got) != 0 {
-		t.Errorf("as/999 hostings = %v", got)
-	}
-	getJSON(t, h, "/v1/as/zero", 400)
-	getJSON(t, h, "/v1/as/0", 400)
-
-	fp := getJSON(t, h, "/v1/hg/google/footprint", 200)
-	if fp["snapshot"] != "2021-04" || fp["count"] != float64(2) {
-		t.Errorf("footprint = %v", fp)
-	}
-	fp = getJSON(t, h, "/v1/hg/Google/footprint?snapshot=2021-01", 200)
-	if fp["count"] != float64(1) {
-		t.Errorf("footprint at 2021-01 = %v", fp)
-	}
-	// Numeric ID works too.
-	fp = getJSON(t, h, fmt.Sprintf("/v1/hg/%d/footprint", int(hg.Netflix)), 200)
-	if fp["hg"] != "Netflix" || fp["count"] != float64(1) {
-		t.Errorf("numeric-id footprint = %v", fp)
-	}
-	// Present-window but absent snapshot, bad label, unknown HG.
-	getJSON(t, h, "/v1/hg/google/footprint?snapshot=2014-01", 404)
-	getJSON(t, h, "/v1/hg/google/footprint?snapshot=never", 400)
-	getJSON(t, h, "/v1/hg/nosuchhg/footprint", 404)
-
-	// Metrics surface: the handlers above must have been counted.
-	req := httptest.NewRequest("GET", "/debug/vars", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != 200 {
-		t.Fatalf("/debug/vars = %d", rec.Code)
-	}
-	body := rec.Body.String()
-	for _, want := range []string{"offnetd.requests", "offnetd.latency", "offnetd.store", `"footprint"`, `"generation"`, `"last_reload"`} {
-		if !strings.Contains(body, want) {
-			t.Errorf("/debug/vars missing %s", want)
+	s2, _ := timeline.FromLabel("2021-01")
+	s3, _ := timeline.FromLabel("2021-04")
+	b := footstore.NewBuilder()
+	for _, step := range []struct {
+		s  timeline.Snapshot
+		fp map[hg.ID][]astopo.ASN
+	}{
+		{s2, map[hg.ID][]astopo.ASN{hg.Google: {200}}},
+		{s3, map[hg.ID][]astopo.ASN{hg.Google: {100, 200, 300}, hg.Netflix: {200}}},
+	} {
+		if err := b.AddSnapshot(step.s, step.fp); err != nil {
+			t.Fatal(err)
 		}
 	}
-
-	// /debug/metrics serves the same registry as one parseable obs
-	// snapshot, without consuming a worker token.
-	req = httptest.NewRequest("GET", "/debug/metrics", nil)
-	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != 200 {
-		t.Fatalf("/debug/metrics = %d", rec.Code)
-	}
-	snap, err := obs.ParseSnapshot(rec.Body.Bytes())
-	if err != nil {
-		t.Fatalf("/debug/metrics body: %v", err)
-	}
-	if snap.Name != "offnetd" {
-		t.Errorf("metrics registry name = %q", snap.Name)
-	}
-	if snap.Counter("http.requests.footprint") == 0 {
-		t.Errorf("footprint requests uncounted: %v", snap.Counters)
-	}
-	lat := snap.Histograms["http.latency_ns.footprint"]
-	var inBuckets uint64
-	for _, b := range lat.Buckets {
-		inBuckets += b.N
-	}
-	if lat.Count == 0 || lat.Count != inBuckets {
-		t.Errorf("footprint latency histogram inconsistent: %+v", lat)
-	}
-}
-
-// TestPprofFlag verifies the profile endpoints exist only behind
-// enablePprof (the -pprof flag).
-func TestPprofFlag(t *testing.T) {
-	h := newServer(testStore(t), 4, 0)
-	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusNotFound {
-		t.Fatalf("pprof without -pprof = %d, want 404", rec.Code)
-	}
-	h.enablePprof()
-	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
-		t.Fatalf("pprof index = %d:\n%.200s", rec.Code, rec.Body.String())
-	}
-}
-
-// TestConcurrentLoad floods the handler with 1000 in-flight requests
-// through a small worker pool; every one must complete successfully.
-// Run under -race this doubles as the lock-free-query-path check.
-func TestConcurrentLoad(t *testing.T) {
-	h := newServer(testStore(t), 16, 0)
-	urls := []string{
-		"/v1/snapshots",
-		"/v1/ip/10.1.2.3",
-		"/v1/ip/10.1.99.1",
-		"/v1/as/200",
-		"/v1/hg/google/footprint",
-		"/v1/hg/netflix/footprint?snapshot=2021-04",
-	}
-	const clients = 1000
-	var wg sync.WaitGroup
-	errs := make(chan string, clients)
-	for i := 0; i < clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			url := urls[i%len(urls)]
-			req := httptest.NewRequest("GET", url, nil)
-			rec := httptest.NewRecorder()
-			h.ServeHTTP(rec, req)
-			if rec.Code != 200 {
-				errs <- fmt.Sprintf("%s -> %d", url, rec.Code)
-			}
-		}(i)
-	}
-	wg.Wait()
-	close(errs)
-	for e := range errs {
-		t.Error(e)
-	}
-}
-
-// TestEndToEndAgainstGroundTruth runs the whole flow in-process: world
-// → scan → §4 pipeline → store → daemon, then checks the served
-// answers against the simulator's ground truth for Google.
-func TestEndToEndAgainstGroundTruth(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds a world")
-	}
-	world, err := worldsim.New(worldsim.Config{Seed: 7, Scale: 0.02})
+	b.AddPrefix(netmodel.MustParsePrefix("10.1.0.0/16"), []astopo.ASN{100})
+	b.AddPrefix(netmodel.MustParsePrefix("10.1.2.0/24"), []astopo.ASN{200})
+	st, err := b.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := timeline.Snapshot(timeline.Count() - 1)
-	snap := scanners.Scan(world, scanners.Rapid7Profile(), s)
-	pipeline := &core.Pipeline{
-		Trust:  world.TrustStore(),
-		Orgs:   world.Orgs(),
-		Mapper: func(s timeline.Snapshot) core.IPMapper { return world.IP2AS(s) },
-		Opts:   core.DefaultOptions(),
-	}
-	res := pipeline.Run(snap)
-	st, err := footstore.FromResult(res, world.IP2AS(s))
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := httptest.NewServer(newServer(st, 64, 0))
-	defer srv.Close()
-
-	get := func(path string, wantCode int) map[string]any {
-		t.Helper()
-		resp, err := http.Get(srv.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != wantCode {
-			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantCode)
-		}
-		var out map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			t.Fatal(err)
-		}
-		return out
-	}
-
-	// /v1/snapshots carries the scanned month.
-	if got := get("/v1/snapshots", 200); got["latest"] != s.Label() {
-		t.Errorf("latest = %v, want %s", got["latest"], s.Label())
-	}
-
-	// /v1/hg footprint equals the pipeline's confirmed set and covers
-	// most of the ground truth (the paper reports ~90 % recall).
-	inferred := res.PerHG[hg.Google].ConfirmedASes
-	fp := get("/v1/hg/google/footprint?snapshot="+s.Label(), 200)
-	if fp["count"] != float64(len(inferred)) {
-		t.Errorf("served footprint count %v, pipeline %d", fp["count"], len(inferred))
-	}
-	served := make(map[astopo.ASN]bool)
-	for _, v := range fp["ases"].([]any) {
-		served[astopo.ASN(v.(float64))] = true
-	}
-	truth := world.TrueOffNetASes(hg.Google, s)
-	hits := 0
-	for _, as := range truth {
-		if served[as] {
-			hits++
-		}
-	}
-	if len(truth) == 0 || hits*2 < len(truth) {
-		t.Errorf("served footprint covers %d/%d true off-net ASes", hits, len(truth))
-	}
-
-	// /v1/ip and /v1/as for a confirmed off-net IP must name Google.
-	ips := res.PerHG[hg.Google].ConfirmedIPList
-	if len(ips) == 0 {
-		t.Fatal("pipeline confirmed no Google IPs")
-	}
-	ipResp := get("/v1/ip/"+ips[0].String(), 200)
-	if ipResp["mapped"] != true {
-		t.Fatalf("confirmed IP unmapped: %v", ipResp)
-	}
-	found := false
-	for _, name := range hostingHGs(ipResp) {
-		if name == "Google" {
-			found = true
-		}
-	}
-	if !found {
-		t.Errorf("/v1/ip/%s does not name Google: %v", ips[0], ipResp)
-	}
-	as, ok := world.IP2AS(s).LookupOne(ips[0])
-	if !ok {
-		t.Fatal("ground-truth mapper cannot resolve confirmed IP")
-	}
-	found = false
-	for _, name := range hostingHGs(get(fmt.Sprintf("/v1/as/%d", as), 200)) {
-		if name == "Google" {
-			found = true
-		}
-	}
-	if !found {
-		t.Errorf("/v1/as/%d does not name Google", as)
-	}
+	return st
 }
 
 // TestRunLifecycle exercises the daemon entrypoint: load a store file,
@@ -366,4 +113,271 @@ func TestRunLifecycle(t *testing.T) {
 	if err := run(context.Background(), []string{"-store", path + ".missing"}, &out); err == nil {
 		t.Error("missing store file should fail")
 	}
+}
+
+// syncWriter serializes run()'s output so the test can poll it while
+// the daemon goroutine writes.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func waitFor(t *testing.T, out *syncWriter, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(out.String(), want) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %q in output:\n%s", want, out.String())
+}
+
+// startDaemon launches run() on an ephemeral port with the given extra
+// args and returns the base URL once it is serving.
+func startDaemon(t *testing.T, ctx context.Context, out *syncWriter, storePath string, extra ...string) (base string, done chan error) {
+	t.Helper()
+	args := append([]string{"-store", storePath, "-addr", "127.0.0.1:0"}, extra...)
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, args, out) }()
+	waitFor(t, out, "serving on")
+	m := regexp.MustCompile(`serving on (http://[^ ]+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no listen address in output:\n%s", out.String())
+	}
+	return m[1], done
+}
+
+// TestSIGHUPReloadLifecycle drives the real signal path end to end:
+// serve, reload twice via SIGHUP (the second swap changes the store
+// content), survive a reload of a corrupt file, and keep answering
+// queries the whole time.
+func TestSIGHUPReloadLifecycle(t *testing.T) {
+	path := t.TempDir() + "/store.fst"
+	if err := testStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncWriter{}
+	base, done := startDaemon(t, ctx, out, path)
+	get := func(p string, wantCode int) {
+		t.Helper()
+		resp, err := http.Get(base + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %d, want %d", p, resp.StatusCode, wantCode)
+		}
+	}
+	get("/readyz", 200)
+	get("/v1/hg/google/footprint", 200)
+
+	hup := func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reload 1: same file.
+	hup()
+	waitFor(t, out, "reloaded")
+	get("/v1/hg/google/footprint", 200)
+
+	// Reload 2: new content — the served window must shrink to the
+	// alternate store's two snapshots.
+	if err := altStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	hup()
+	waitFor(t, out, "2 snapshots")
+	get("/v1/hg/google/footprint?snapshot=2020-10", 404) // gone from the new window
+	get("/v1/hg/google/footprint?snapshot=2021-04", 200)
+
+	// Reload 3: corrupt file is rejected, old store keeps serving.
+	if err := os.WriteFile(path, []byte("definitely not a footstore"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hup()
+	waitFor(t, out, "reload failed")
+	get("/v1/hg/google/footprint?snapshot=2021-04", 200)
+	get("/readyz", 200)
+
+	if n := strings.Count(out.String(), "reloaded"); n != 2 {
+		t.Errorf("saw %d successful reloads, want 2:\n%s", n, out.String())
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	waitFor(t, out, "shutting down")
+}
+
+// waitForReloads blocks until the daemon has logged at least n
+// successful reloads.
+func waitForReloads(t *testing.T, out *syncWriter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Count(out.String(), "reloaded") >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for reload #%d:\n%s", n, out.String())
+}
+
+// TestSIGHUPLoadgenNoStaleGeneration is the serving-at-scale e2e: a
+// cache-enabled daemon takes sustained loadgen traffic over a real
+// socket while SIGHUP swaps the store file back and forth, and no
+// response — cached or not — may ever pair a generation with the other
+// store's content. testStore serves Google's 2021-04 footprint with 2
+// ASes and loads on odd generations; altStore serves 3 and loads on
+// even ones, so a cache hit leaking across a reload is immediately
+// visible as a parity violation. Runs under -race via `make chaos-race`.
+func TestSIGHUPLoadgenNoStaleGeneration(t *testing.T) {
+	path := t.TempDir() + "/store.fst"
+	if err := testStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncWriter{}
+	base, done := startDaemon(t, ctx, out, path, "-cache", "1024", "-workers", "32")
+
+	// Footprint-only workload: these are the responses whose content
+	// reveals which store answered them.
+	plan, err := loadgen.BuildPlan(testStore(t), loadgen.PlanConfig{
+		Seed: 9, Requests: 4000, Mix: loadgen.Mix{Footprint: 1}, Rate: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var violations []string
+	checked := 0
+	onResponse := func(req *loadgen.Request, status int, body []byte) {
+		if status != 200 {
+			return
+		}
+		// Only Google at the latest snapshot separates the stores.
+		if !strings.HasPrefix(req.Path, "/v1/hg/Google/footprint") {
+			return
+		}
+		if strings.Contains(req.Path, "snapshot=") && !strings.Contains(req.Path, "snapshot=2021-04") {
+			return
+		}
+		var m struct {
+			Generation uint64 `json:"generation"`
+			Count      int    `json:"count"`
+		}
+		if err := json.Unmarshal(body, &m); err != nil {
+			return
+		}
+		want := 2 // odd generations = testStore
+		if m.Generation%2 == 0 {
+			want = 3 // even generations = altStore
+		}
+		mu.Lock()
+		checked++
+		if m.Count != want {
+			violations = append(violations, fmt.Sprintf(
+				"generation %d served count %d, want %d — stale answer across reload", m.Generation, m.Count, want))
+		}
+		mu.Unlock()
+	}
+
+	driveCtx, driveCancel := context.WithCancel(ctx)
+	defer driveCancel()
+	repCh := make(chan *loadgen.Report, 1)
+	go func() {
+		rep, _ := loadgen.Drive(driveCtx, plan, &http.Client{Timeout: 10 * time.Second}, loadgen.Options{
+			Concurrency: 8,
+			BaseURL:     base,
+			OnResponse:  onResponse,
+		})
+		repCh <- rep
+	}()
+
+	// Swap the store file back and forth under live traffic. Each
+	// successful reload bumps the generation: even = altStore, odd =
+	// testStore.
+	for i := 0; i < 8; i++ {
+		st := altStore(t)
+		if i%2 == 1 {
+			st = testStore(t)
+		}
+		if err := st.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+		waitForReloads(t, out, i+1)
+		time.Sleep(30 * time.Millisecond)
+	}
+
+	driveCancel()
+	rep := <-repCh
+	if rep == nil {
+		t.Fatal("driver returned no report")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if checked == 0 {
+		t.Fatal("no checkable responses observed — the workload never hit the distinguishing query")
+	}
+	if rep.Errors5xx > 0 {
+		t.Errorf("daemon served %d 5xx under reload traffic", rep.Errors5xx)
+	}
+
+	// Quiesced: the final generation (9 = 8 reloads past the initial
+	// load, odd, testStore) must serve fresh content, and a repeat of
+	// the same query must be a cache hit carrying that same generation.
+	url := base + "/v1/hg/google/footprint?snapshot=2021-04"
+	var lastGen, lastCount float64
+	var cacheHdr string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("bad body %q: %v", body, err)
+		}
+		lastGen, lastCount = m["generation"].(float64), m["count"].(float64)
+		cacheHdr = resp.Header.Get("X-Offnet-Cache")
+	}
+	if lastGen != 9 || lastCount != 2 {
+		t.Errorf("final state: generation %v count %v, want generation 9 count 2", lastGen, lastCount)
+	}
+	if cacheHdr != "hit" {
+		t.Errorf("repeat query after quiesce = %q, want a cache hit", cacheHdr)
+	}
+
+	cancel()
+	<-done
 }

@@ -1,15 +1,20 @@
-// Serve: build a footprint store entirely in memory and query it
-// programmatically — the library side of what cmd/offnetd exposes over
-// HTTP. No network, no files: world → scan → pipeline → footstore.
+// Serve: build a footprint store entirely in memory, query it
+// programmatically, then stand up the full offnetd serving engine —
+// worker pool, query cache, batch endpoint — and measure it with a
+// seeded loadgen workload. No network, no files, no daemon: world →
+// scan → pipeline → footstore → serving engine → load report.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"offnetscope/internal/core"
 	"offnetscope/internal/footstore"
 	"offnetscope/internal/hg"
+	"offnetscope/internal/loadgen"
+	"offnetscope/internal/offnetserve"
 	"offnetscope/internal/scanners"
 	"offnetscope/internal/timeline"
 	"offnetscope/internal/worldsim"
@@ -59,4 +64,27 @@ func main() {
 			}
 		}
 	}
+
+	// 5. The production serving engine in-process: the same handler
+	//    stack offnetd puts behind a socket, with a generation-keyed
+	//    query cache and the /v1/batch bulk endpoint.
+	srv := offnetserve.New(store, offnetserve.Config{Workers: 32, CacheSize: 1024})
+
+	// 6. A seeded workload derived from the store itself: zipfian hot
+	//    IPs over its real prefixes, cold misses, AS and footprint
+	//    queries, a malformed sliver. Same seed = identical trace.
+	plan, err := loadgen.BuildPlan(store, loadgen.PlanConfig{Seed: 7, Requests: 20000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := loadgen.Drive(context.Background(), plan,
+		loadgen.HandlerTarget{Handler: srv}, loadgen.Options{Concurrency: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loadgen: %d requests (trace %s): %.0f req/s, p99 %dns, 5xx=%d\n",
+		rep.Requests, rep.TraceHash, rep.QPS, rep.P99Ns, rep.Errors5xx)
+	snap2 := srv.Registry().Snapshot()
+	fmt.Printf("cache: %d hits, %d misses, %d deduped in-flight\n",
+		snap2.Counter("cache.hits"), snap2.Counter("cache.misses"), snap2.Counter("cache.shared"))
 }

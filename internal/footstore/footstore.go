@@ -158,6 +158,32 @@ func (st *Store) LookupIP(ip netmodel.IP) (p netmodel.Prefix, origins []astopo.A
 	return st.trie.LookupPrefix(ip)
 }
 
+// WalkPrefixes visits every row of the IP-to-AS table in canonical
+// (address, length) order, stopping early when fn returns false. The
+// origin slices are shared and must not be mutated. Workload generators
+// (internal/loadgen) use this to derive realistic hot-IP populations
+// from the store itself; the deterministic order is what makes a seeded
+// workload reproducible across runs.
+func (st *Store) WalkPrefixes(fn func(netmodel.Prefix, []astopo.ASN) bool) {
+	for i := range st.prefixes {
+		if !fn(st.prefixes[i].prefix, st.prefixes[i].asns) {
+			return
+		}
+	}
+}
+
+// ASes returns every AS hosting at least one hypergiant anywhere in the
+// study window, sorted ascending — the deterministic population for
+// /v1/as query workloads.
+func (st *Store) ASes() []astopo.ASN {
+	out := make([]astopo.ASN, 0, len(st.asIndex))
+	for as := range st.asIndex {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Stats summarises the store for logs and /debug/vars.
 type Stats struct {
 	Snapshots   int

@@ -267,3 +267,40 @@ func TestFromStudyAndResult(t *testing.T) {
 		t.Errorf("FromResult store wrong: latest=%v size=%d", single.Latest(), single.FootprintSize(hg.Google, 3))
 	}
 }
+
+// TestWalkPrefixesAndASes covers the accessors loadgen derives its
+// workload populations from: WalkPrefixes visits the canonical prefix
+// table in sorted order (with early stop), and ASes lists every
+// hosting AS sorted.
+func TestWalkPrefixesAndASes(t *testing.T) {
+	st := buildTestStore(t)
+
+	var prefixes []string
+	var asnSets [][]astopo.ASN
+	st.WalkPrefixes(func(p netmodel.Prefix, asns []astopo.ASN) bool {
+		prefixes = append(prefixes, p.String())
+		asnSets = append(asnSets, append([]astopo.ASN(nil), asns...))
+		return true
+	})
+	wantPrefixes := []string{"10.1.0.0/16", "10.1.2.0/24", "10.2.0.0/16"}
+	if !reflect.DeepEqual(prefixes, wantPrefixes) {
+		t.Errorf("WalkPrefixes order = %v, want %v", prefixes, wantPrefixes)
+	}
+	if !reflect.DeepEqual(asnSets[2], []astopo.ASN{300, 400}) {
+		t.Errorf("MOAS origins = %v, want [300 400]", asnSets[2])
+	}
+
+	// Early stop: returning false ends the walk.
+	visited := 0
+	st.WalkPrefixes(func(netmodel.Prefix, []astopo.ASN) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Errorf("early-stopped walk visited %d prefixes, want 1", visited)
+	}
+
+	if got, want := st.ASes(), []astopo.ASN{100, 200, 300, 400}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ASes() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/offnetserve"
+	"offnetscope/internal/timeline"
+)
+
+// The serving benchmarks behind BENCH_offnetd.json: a zipfian
+// default-mix workload of benchLookups lookups replayed through the
+// production handler stack in-process (HandlerTarget — no socket, so
+// the numbers are the engine, not the kernel's TCP stack). Run them
+// with -benchtime=1x (`make bench-serve`): one iteration IS the whole
+// workload, and ns/op is whole-run wall time. QPS and latency
+// quantiles ride along as custom metrics for benchjson.
+
+const (
+	benchLookups      = 1_000_000
+	benchLookupsShort = 20_000
+)
+
+func lookupsForRun() int {
+	if testing.Short() {
+		return benchLookupsShort
+	}
+	return benchLookups
+}
+
+// servingStore is the benchmark corpus: 4 hypergiants over 3
+// snapshots and 2k prefixes spread over 32 hosting ASes — big enough
+// that the zipf skew and the LRU matter, small and synthetic enough to
+// build in milliseconds from nothing.
+func servingStore(tb testing.TB) *footstore.Store {
+	tb.Helper()
+	s1, _ := timeline.FromLabel("2020-10")
+	s2, _ := timeline.FromLabel("2021-01")
+	s3, _ := timeline.FromLabel("2021-04")
+	ases := make([]astopo.ASN, 32)
+	for i := range ases {
+		ases[i] = astopo.ASN(1000 + i)
+	}
+	b := footstore.NewBuilder()
+	for _, step := range []struct {
+		s    timeline.Snapshot
+		take int // how many of the ASes each HG occupies at this snapshot
+	}{{s1, 8}, {s2, 16}, {s3, 32}} {
+		fp := map[hg.ID][]astopo.ASN{
+			hg.Google:     ases[:step.take],
+			hg.Netflix:    ases[:step.take/2],
+			hg.Facebook:   ases[:step.take/4],
+			hg.Cloudflare: ases[:step.take/8],
+		}
+		if err := b.AddSnapshot(step.s, fp); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// 2k disjoint /24s: 10.x.y.0/24 for x in 0..7, y in 0..249.
+	n := 0
+	for x := 0; x < 8 && n < 2000; x++ {
+		for y := 0; y < 250 && n < 2000; y++ {
+			p := netmodel.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", x, y))
+			b.AddPrefix(p, []astopo.ASN{ases[n%len(ases)]})
+			n++
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+type benchVariant struct {
+	name      string
+	cacheSize int
+	batchSize int
+	mix       Mix // zero value: DefaultMix
+}
+
+// ipOnlyMix isolates bulk IP→HG resolution — the workload POST
+// /v1/batch exists for — so the batch and single-request variants
+// resolve the same number of lookups through the same code path and
+// differ only in how they are framed on the wire.
+func ipOnlyMix() Mix { return Mix{IPHot: 0.9, IPCold: 0.1} }
+
+func runServingBench(b *testing.B, v benchVariant) {
+	st := servingStore(b)
+	lookups := lookupsForRun()
+	requests := lookups
+	if v.batchSize > 0 {
+		requests = lookups / v.batchSize
+	}
+	plan, err := BuildPlan(st, PlanConfig{Seed: 1, Requests: requests, Mix: v.mix, BatchSize: v.batchSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *Report
+	for i := 0; i < b.N; i++ {
+		srv := offnetserve.New(st, offnetserve.Config{Workers: 64, CacheSize: v.cacheSize})
+		rep, err := Drive(context.Background(), plan, HandlerTarget{Handler: srv}, Options{Concurrency: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors5xx != 0 || rep.Transport != 0 {
+			b.Fatalf("bench run saw errors: 5xx=%d transport=%d", rep.Errors5xx, rep.Transport)
+		}
+		last = rep
+	}
+	b.StopTimer()
+	b.ReportMetric(last.QPS, "qps")
+	b.ReportMetric(last.LookupsPerSec, "lookups/s")
+	b.ReportMetric(float64(last.P50Ns), "p50_ns")
+	b.ReportMetric(float64(last.P99Ns), "p99_ns")
+	b.ReportMetric(float64(last.P999Ns), "p999_ns")
+}
+
+func BenchmarkServe1MZipfianCacheOn(b *testing.B) {
+	runServingBench(b, benchVariant{name: "cache-on", cacheSize: 4096})
+}
+
+func BenchmarkServe1MZipfianCacheOff(b *testing.B) {
+	runServingBench(b, benchVariant{name: "cache-off", cacheSize: 0})
+}
+
+func BenchmarkServe1MZipfianSingleIP(b *testing.B) {
+	runServingBench(b, benchVariant{name: "single-ip", cacheSize: 0, mix: ipOnlyMix()})
+}
+
+func BenchmarkServe1MZipfianBatch256(b *testing.B) {
+	runServingBench(b, benchVariant{name: "batch-256", cacheSize: 0, batchSize: 256, mix: ipOnlyMix()})
+}

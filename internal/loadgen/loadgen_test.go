@@ -1,0 +1,360 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
+	"offnetscope/internal/offnetserve"
+	"offnetscope/internal/timeline"
+)
+
+// benchStore builds a small but non-trivial store: two hypergiants,
+// three snapshots, and a handful of prefixes of mixed length so the
+// zipf draw has a population to skew over.
+func benchStore(tb testing.TB) *footstore.Store {
+	tb.Helper()
+	s1, _ := timeline.FromLabel("2020-10")
+	s2, _ := timeline.FromLabel("2021-01")
+	s3, _ := timeline.FromLabel("2021-04")
+	b := footstore.NewBuilder()
+	steps := []struct {
+		s  timeline.Snapshot
+		fp map[hg.ID][]astopo.ASN
+	}{
+		{s1, map[hg.ID][]astopo.ASN{hg.Google: {100, 200}}},
+		{s2, map[hg.ID][]astopo.ASN{hg.Google: {200}, hg.Netflix: {300}}},
+		{s3, map[hg.ID][]astopo.ASN{hg.Google: {100, 200}, hg.Netflix: {200, 300}}},
+	}
+	for _, step := range steps {
+		if err := b.AddSnapshot(step.s, step.fp); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, p := range []struct {
+		cidr string
+		as   astopo.ASN
+	}{
+		{"10.1.0.0/16", 100},
+		{"10.1.2.0/24", 200},
+		{"10.9.0.0/20", 200},
+		{"172.16.0.0/12", 300},
+		{"192.168.4.0/22", 100},
+	} {
+		b.AddPrefix(netmodel.MustParsePrefix(p.cidr), []astopo.ASN{p.as})
+	}
+	st, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+// TestPlanDeterminism is the reproducibility contract: same store +
+// same config = byte-identical trace and equal hash; a different seed
+// moves the hash.
+func TestPlanDeterminism(t *testing.T) {
+	st := benchStore(t)
+	cfg := PlanConfig{Seed: 42, Requests: 500, Rate: 100000, BurstFactor: 4,
+		BurstPeriod: 50 * time.Millisecond, BurstDur: 10 * time.Millisecond}
+
+	p1, err := BuildPlan(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildPlan(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("two plans from the same seed differ")
+	}
+	if p1.Hash() != p2.Hash() {
+		t.Fatalf("hash mismatch for identical plans: %s vs %s", p1.Hash(), p2.Hash())
+	}
+
+	cfg.Seed = 43
+	p3, err := BuildPlan(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Hash() == p1.Hash() {
+		t.Fatal("different seeds produced the same trace hash")
+	}
+}
+
+// TestPlanShape checks the mix lands near its weights, every path is
+// well-formed for its kind, and arrival offsets never go backwards.
+func TestPlanShape(t *testing.T) {
+	st := benchStore(t)
+	const n = 4000
+	p, err := BuildPlan(st, PlanConfig{Seed: 7, Requests: n, Rate: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Requests) != n {
+		t.Fatalf("planned %d requests, want %d", len(p.Requests), n)
+	}
+	if p.Lookups != n {
+		t.Fatalf("unbatched plan has %d lookups, want %d", p.Lookups, n)
+	}
+
+	byKind := p.ByKind()
+	// DefaultMix: 70/10/10/5/5. With n=4000 a ±40% band is loose
+	// enough to never flake yet tight enough to catch a broken picker.
+	for kind, wantFrac := range map[string]float64{
+		"ip_hot": 0.70, "ip_cold": 0.10, "as": 0.10, "footprint": 0.05, "malformed": 0.05,
+	} {
+		got := float64(byKind[kind]) / n
+		if got < wantFrac*0.6 || got > wantFrac*1.4 {
+			t.Errorf("kind %s frequency %.3f, want about %.2f", kind, got, wantFrac)
+		}
+	}
+
+	var prev time.Duration
+	hotPrefix := 0
+	for i := range p.Requests {
+		r := &p.Requests[i]
+		if r.At < prev {
+			t.Fatalf("request %d arrives at %v before its predecessor at %v", i, r.At, prev)
+		}
+		prev = r.At
+		switch r.Kind {
+		case KindIPHot:
+			ip, err := netmodel.ParseIP(strings.TrimPrefix(r.Path, "/v1/ip/"))
+			if err != nil {
+				t.Fatalf("hot path %q does not carry a parseable IP: %v", r.Path, err)
+			}
+			if _, _, ok := st.LookupIP(ip); ok {
+				hotPrefix++
+			}
+		case KindAS:
+			if !strings.HasPrefix(r.Path, "/v1/as/") {
+				t.Fatalf("as path %q", r.Path)
+			}
+		case KindFootprint:
+			if !strings.HasPrefix(r.Path, "/v1/hg/") || !strings.Contains(r.Path, "/footprint") {
+				t.Fatalf("footprint path %q", r.Path)
+			}
+		}
+	}
+	// Hot lookups are drawn from the store's own prefixes, so nearly
+	// all of them must actually map (more-specifics can shadow, so not
+	// necessarily 100%).
+	if hot := byKind["ip_hot"]; hotPrefix < hot*9/10 {
+		t.Errorf("only %d of %d hot IPs map in the store", hotPrefix, hot)
+	}
+}
+
+// TestPlanBatching: with BatchSize set, IP lookups ride POST /v1/batch
+// in bodies capped at the batch size, and Lookups counts the items.
+func TestPlanBatching(t *testing.T) {
+	st := benchStore(t)
+	p, err := BuildPlan(st, PlanConfig{Seed: 11, Requests: 300, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, items := 0, 0
+	for i := range p.Requests {
+		r := &p.Requests[i]
+		if r.Kind != KindBatch {
+			if strings.HasPrefix(r.Path, "/v1/ip/") && r.Kind != KindMalformed {
+				t.Fatalf("unbatched IP lookup %q in a batching plan", r.Path)
+			}
+			items += r.Items
+			continue
+		}
+		batches++
+		items += r.Items
+		if r.Method != "POST" || r.Path != "/v1/batch" {
+			t.Fatalf("batch request %q %q", r.Method, r.Path)
+		}
+		if r.Items < 1 || r.Items > 16 {
+			t.Fatalf("batch carries %d items, want 1..16", r.Items)
+		}
+	}
+	if batches == 0 {
+		t.Fatal("no batch requests planned")
+	}
+	if items != p.Lookups {
+		t.Fatalf("summed items %d != plan.Lookups %d", items, p.Lookups)
+	}
+	if p.Lookups <= len(p.Requests) {
+		t.Fatalf("batching should amortize: %d lookups over %d requests", p.Lookups, len(p.Requests))
+	}
+}
+
+// TestScheduleBursts: inside a burst phase arrivals are BurstFactor
+// times closer together than in the baseline phase.
+func TestScheduleBursts(t *testing.T) {
+	cfg := PlanConfig{Rate: 1000, BurstFactor: 5,
+		BurstPeriod: 100 * time.Millisecond, BurstDur: 20 * time.Millisecond}
+	s := newSchedule(cfg)
+	var gaps []time.Duration
+	prev := s.next()
+	for i := 0; i < 200; i++ {
+		cur := s.next()
+		gaps = append(gaps, cur-prev)
+		prev = cur
+	}
+	base := time.Second / 1000
+	burst := base / 5
+	var sawBase, sawBurst bool
+	for _, g := range gaps {
+		switch g {
+		case base:
+			sawBase = true
+		case burst:
+			sawBurst = true
+		default:
+			t.Fatalf("gap %v is neither the base %v nor the burst %v spacing", g, base, burst)
+		}
+	}
+	if !sawBase || !sawBurst {
+		t.Fatalf("schedule never alternated phases (base=%v burst=%v)", sawBase, sawBurst)
+	}
+}
+
+// TestPlanRejectsBadConfig: empty populations and broken weights fail
+// loudly instead of silently skewing the mix.
+func TestPlanRejectsBadConfig(t *testing.T) {
+	st := benchStore(t)
+	for name, cfg := range map[string]PlanConfig{
+		"zero requests":  {Seed: 1},
+		"negative mix":   {Seed: 1, Requests: 10, Mix: Mix{IPHot: -1, IPCold: 1}},
+		"no weight":      {Seed: 1, Requests: 10, Mix: Mix{}}, // zero Mix = DefaultMix, so force it
+		"zipf too small": {Seed: 1, Requests: 10, ZipfS: 0.5},
+	} {
+		if name == "no weight" {
+			continue // zero value means DefaultMix by design; covered below
+		}
+		if _, err := BuildPlan(st, cfg); err == nil {
+			t.Errorf("%s: BuildPlan accepted a bad config", name)
+		}
+	}
+
+	// A store with no prefixes cannot serve a hot-IP mix.
+	b := footstore.NewBuilder()
+	s3, _ := timeline.FromLabel("2021-04")
+	if err := b.AddSnapshot(s3, map[hg.ID][]astopo.ASN{hg.Google: {100}}); err != nil {
+		t.Fatal(err)
+	}
+	bare, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPlan(bare, PlanConfig{Seed: 1, Requests: 10}); err == nil {
+		t.Error("hot-IP mix against a prefixless store should fail")
+	}
+	// But a mix that avoids the empty population works.
+	if _, err := BuildPlan(bare, PlanConfig{Seed: 1, Requests: 10,
+		Mix: Mix{AS: 1, Footprint: 1}}); err != nil {
+		t.Errorf("AS/footprint-only plan: %v", err)
+	}
+}
+
+// TestDriveInProcess replays a full default-mix plan against the real
+// offnetd handler stack: no 5xx, no transport errors, malformed
+// requests land in 4xx, every accounted status sums back to the
+// request count, and all 200s report generation 1.
+func TestDriveInProcess(t *testing.T) {
+	st := benchStore(t)
+	srv := offnetserve.New(st, offnetserve.Config{Workers: 16, CacheSize: 256})
+	plan, err := BuildPlan(st, PlanConfig{Seed: 3, Requests: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry("loadgen-test")
+	rep, err := Drive(context.Background(), plan, HandlerTarget{Handler: srv}, Options{
+		Concurrency: 8,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Transport != 0 || rep.Errors5xx != 0 {
+		t.Fatalf("transport=%d errors5xx=%d, want 0/0\nreport: %+v", rep.Transport, rep.Errors5xx, rep)
+	}
+	total := 0
+	for _, n := range rep.ByStatus {
+		total += n
+	}
+	if total != len(plan.Requests) {
+		t.Fatalf("statuses account for %d of %d requests", total, len(plan.Requests))
+	}
+	fourxx := rep.ByStatus["400"] + rep.ByStatus["404"]
+	if malformed := rep.ByKind["malformed"]; fourxx < malformed {
+		t.Errorf("%d malformed requests but only %d 4xx responses", malformed, fourxx)
+	}
+	if rep.ByStatus["200"] == 0 {
+		t.Fatal("no 200s at all")
+	}
+	if len(rep.Generations) != 1 || rep.Generations["1"] == 0 {
+		t.Errorf("generations = %v, want all on generation 1", rep.Generations)
+	}
+	if rep.QPS <= 0 || rep.DurationNs <= 0 {
+		t.Errorf("degenerate timing: qps=%v duration=%d", rep.QPS, rep.DurationNs)
+	}
+	if rep.TraceHash != plan.Hash() {
+		t.Errorf("report hash %s != plan hash %s", rep.TraceHash, plan.Hash())
+	}
+	// The driver's histogram lives on the caller's registry.
+	if got := reg.Snapshot().Histograms["loadgen.latency"].Count; got != uint64(total) {
+		t.Errorf("latency histogram observed %d, want %d", got, total)
+	}
+}
+
+// TestDriveBatchPlan sends the batched variant through the server and
+// cross-checks the server-side item counter against the plan.
+func TestDriveBatchPlan(t *testing.T) {
+	st := benchStore(t)
+	srv := offnetserve.New(st, offnetserve.Config{Workers: 16})
+	plan, err := BuildPlan(st, PlanConfig{Seed: 5, Requests: 200, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Drive(context.Background(), plan, HandlerTarget{Handler: srv}, Options{Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("5xx under batch plan: %+v", rep)
+	}
+	wantItems := int64(0)
+	for i := range plan.Requests {
+		if plan.Requests[i].Kind == KindBatch {
+			wantItems += int64(plan.Requests[i].Items)
+		}
+	}
+	snap := srv.Registry().Snapshot()
+	if got := snap.Counter("http.batch_items"); got != wantItems {
+		t.Errorf("server resolved %d batch items, plan carried %d", got, wantItems)
+	}
+}
+
+func TestScanGeneration(t *testing.T) {
+	for _, tc := range []struct {
+		body string
+		want uint64
+		ok   bool
+	}{
+		{`{"generation": 7, "count": 2}`, 7, true},
+		{`{"count":2,"generation":123}`, 123, true},
+		{`{"count": 2}`, 0, false},
+		{`{"generation": "nope"}`, 0, false},
+	} {
+		got, ok := scanGeneration([]byte(tc.body))
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("scanGeneration(%s) = %d,%v want %d,%v", tc.body, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package loadgen is the serving-scale traffic harness: a seeded,
+// deterministic workload generator that derives realistic query mixes
+// from a footprint store itself, plus a bounded-concurrency open-loop
+// driver that replays them against a live or in-process offnetd and
+// reports QPS, latency quantiles, and error counts.
+//
+// Realism and reproducibility are both first-class (the
+// ConCap/GHTraffic lesson: a serving benchmark is only credible if its
+// traffic is synthetic-but-realistic and anyone can regenerate it):
+//
+//   - Hot IPs are drawn zipfian-weighted from the store's own prefix
+//     table, so the hot set is the store's real footprint, not random
+//     noise. Cold IPs sample the whole v4 space and mostly miss.
+//     /v1/as and /v1/hg footprint queries draw from the store's AS and
+//     hypergiant populations, and a configurable fraction of requests
+//     is deliberately malformed.
+//   - The whole trace — request order, paths, batch bodies, arrival
+//     offsets — is a pure function of (store, PlanConfig). Two plans
+//     built with the same seed are byte-identical; Plan.Hash() names
+//     the trace so reports can prove it.
+//   - Arrivals are open-loop: each request carries an absolute offset
+//     from run start, derived from a baseline rate with periodic burst
+//     phases, so the driver applies load at the scheduled rate instead
+//     of adapting to the server (the coordinated-omission trap).
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/netmodel"
+)
+
+// Kind classifies one generated request.
+type Kind uint8
+
+const (
+	KindIPHot     Kind = iota // GET /v1/ip/{ip}, zipfian over the store's prefixes
+	KindIPCold                // GET /v1/ip/{ip}, uniform over v4 space (mostly unmapped)
+	KindAS                    // GET /v1/as/{asn}, zipfian over the store's hosting ASes
+	KindFootprint             // GET /v1/hg/{id}/footprint[?snapshot=...]
+	KindMalformed             // deliberately invalid requests (4xx expected)
+	KindBatch                 // POST /v1/batch carrying grouped IP lookups
+)
+
+var kindNames = [...]string{"ip_hot", "ip_cold", "as", "footprint", "malformed", "batch"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Request is one scheduled query of the workload trace.
+type Request struct {
+	Kind   Kind
+	Method string
+	Path   string        // URI relative to the server root, query included
+	Body   []byte        // POST body (batch), nil otherwise
+	At     time.Duration // open-loop arrival offset from run start
+	Items  int           // lookups this request resolves (batch: body size, else 1)
+}
+
+// Mix weighs the query kinds. Weights are relative, not required to
+// sum to 1; a kind whose population is empty in the store (no
+// prefixes, no ASes) must carry weight 0.
+type Mix struct {
+	IPHot     float64 `json:"ip_hot"`
+	IPCold    float64 `json:"ip_cold"`
+	AS        float64 `json:"as"`
+	Footprint float64 `json:"footprint"`
+	Malformed float64 `json:"malformed"`
+}
+
+// DefaultMix approximates a CDN-style lookup service: dominated by
+// single-IP resolution with a hot skew, a trickle of AS and footprint
+// queries, and a small malformed fraction (clients misbehave).
+func DefaultMix() Mix {
+	return Mix{IPHot: 0.70, IPCold: 0.10, AS: 0.10, Footprint: 0.05, Malformed: 0.05}
+}
+
+// PlanConfig parameterizes workload derivation. Only Requests is
+// required; zero values pick the documented defaults.
+type PlanConfig struct {
+	Seed     int64   // workload seed; same seed + same store = identical trace
+	Requests int     // number of HTTP requests to schedule
+	Mix      Mix     // kind weights (zero value: DefaultMix)
+	ZipfS    float64 // zipf skew for hot IPs and ASes, >1 (0: 1.2)
+
+	// BatchSize > 0 groups the IP lookups (hot and cold) into POST
+	// /v1/batch bodies of this size; Requests then counts batches, so
+	// the lookup volume is Requests×weight×BatchSize.
+	BatchSize int
+
+	// Open-loop arrival schedule. Rate 0 disables pacing (every offset
+	// 0: the driver applies maximum pressure). With Rate > 0, arrivals
+	// are spaced 1/Rate apart, except inside burst phases — the first
+	// BurstDur of every BurstPeriod — where the rate is multiplied by
+	// BurstFactor.
+	Rate        float64
+	BurstFactor float64
+	BurstPeriod time.Duration
+	BurstDur    time.Duration
+}
+
+// Plan is a frozen workload trace.
+type Plan struct {
+	Seed     int64
+	Requests []Request
+	Lookups  int // total lookups across all requests (batch items counted)
+}
+
+// Hash names the trace: FNV-1a over every request's kind, method,
+// path, body, and arrival offset. Two runs with the same seed and
+// store produce the same hash — the determinism receipt the committed
+// benchmark report carries.
+func (p *Plan) Hash() string {
+	h := fnv.New64a()
+	var scratch [16]byte
+	for i := range p.Requests {
+		r := &p.Requests[i]
+		h.Write([]byte{byte(r.Kind)})
+		h.Write([]byte(r.Method))
+		h.Write([]byte(r.Path))
+		h.Write(r.Body)
+		n := binaryPutInt64(scratch[:], int64(r.At))
+		h.Write(scratch[:n])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func binaryPutInt64(dst []byte, v int64) int {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+	return 8
+}
+
+// ByKind counts the planned requests per kind name — deterministic,
+// straight from the trace.
+func (p *Plan) ByKind() map[string]int {
+	out := make(map[string]int)
+	for i := range p.Requests {
+		out[p.Requests[i].Kind.String()]++
+	}
+	return out
+}
+
+// population is everything BuildPlan derives from the store once.
+type population struct {
+	prefixes []netmodel.Prefix
+	ases     []astopo.ASN
+	hgNames  []string
+	snaps    []string
+}
+
+// BuildPlan derives a deterministic workload trace from the store. It
+// fails when a requested kind has an empty population (for example
+// IPHot weight > 0 against a store with no prefix table) rather than
+// silently skewing the mix.
+func BuildPlan(st *footstore.Store, cfg PlanConfig) (*Plan, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests must be positive, got %d", cfg.Requests)
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("loadgen: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	m := cfg.Mix
+	for _, w := range []float64{m.IPHot, m.IPCold, m.AS, m.Footprint, m.Malformed} {
+		if w < 0 {
+			return nil, fmt.Errorf("loadgen: negative mix weight")
+		}
+	}
+	total := m.IPHot + m.IPCold + m.AS + m.Footprint + m.Malformed
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: mix has no positive weight")
+	}
+
+	pop := population{}
+	st.WalkPrefixes(func(p netmodel.Prefix, _ []astopo.ASN) bool {
+		pop.prefixes = append(pop.prefixes, p)
+		return true
+	})
+	pop.ases = st.ASes()
+	for _, id := range st.Hypergiants() {
+		pop.hgNames = append(pop.hgNames, id.String())
+	}
+	for _, s := range st.Snapshots() {
+		pop.snaps = append(pop.snaps, s.Label())
+	}
+	if m.IPHot > 0 && len(pop.prefixes) == 0 {
+		return nil, fmt.Errorf("loadgen: hot-IP weight %g but the store has no prefix table", m.IPHot)
+	}
+	if m.AS > 0 && len(pop.ases) == 0 {
+		return nil, fmt.Errorf("loadgen: AS weight %g but the store has no hosting ASes", m.AS)
+	}
+	if m.Footprint > 0 && len(pop.hgNames) == 0 {
+		return nil, fmt.Errorf("loadgen: footprint weight %g but the store has no hypergiants", m.Footprint)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipfPrefix, zipfAS *rand.Zipf
+	if len(pop.prefixes) > 0 {
+		zipfPrefix = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pop.prefixes)-1))
+	}
+	if len(pop.ases) > 0 {
+		zipfAS = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pop.ases)-1))
+	}
+
+	sched := newSchedule(cfg)
+	plan := &Plan{Seed: cfg.Seed, Requests: make([]Request, 0, cfg.Requests)}
+	var batch []string // pending IP lookups awaiting a full batch body
+
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		body, _ := json.Marshal(map[string][]string{"ips": batch})
+		plan.Requests = append(plan.Requests, Request{
+			Kind: KindBatch, Method: "POST", Path: "/v1/batch",
+			Body: body, At: sched.next(), Items: len(batch),
+		})
+		plan.Lookups += len(batch)
+		batch = batch[:0]
+	}
+	addIP := func(kind Kind, ip netmodel.IP) {
+		if cfg.BatchSize > 0 {
+			batch = append(batch, ip.String())
+			if len(batch) >= cfg.BatchSize {
+				flushBatch()
+			}
+			return
+		}
+		plan.Requests = append(plan.Requests, Request{
+			Kind: kind, Method: "GET", Path: "/v1/ip/" + ip.String(),
+			At: sched.next(), Items: 1,
+		})
+		plan.Lookups++
+	}
+	addGet := func(kind Kind, path string) {
+		plan.Requests = append(plan.Requests, Request{
+			Kind: kind, Method: "GET", Path: path, At: sched.next(), Items: 1,
+		})
+		plan.Lookups++
+	}
+
+	for len(plan.Requests) < cfg.Requests {
+		switch k := pickKind(rng, m, total); k {
+		case KindIPHot:
+			p := pop.prefixes[zipfPrefix.Uint64()]
+			addIP(k, ipWithin(rng, p))
+		case KindIPCold:
+			addIP(k, coldIP(rng))
+		case KindAS:
+			as := pop.ases[zipfAS.Uint64()]
+			addGet(k, "/v1/as/"+strconv.FormatUint(uint64(as), 10))
+		case KindFootprint:
+			path := "/v1/hg/" + pop.hgNames[rng.Intn(len(pop.hgNames))] + "/footprint"
+			if rng.Intn(2) == 0 && len(pop.snaps) > 0 {
+				path += "?snapshot=" + pop.snaps[rng.Intn(len(pop.snaps))]
+			}
+			addGet(k, path)
+		case KindMalformed:
+			addGet(k, malformedPath(rng))
+		}
+	}
+	flushBatch()
+	// Grouping may overshoot Requests by the trailing flush; trim to
+	// the exact count so Requests means what it says.
+	if len(plan.Requests) > cfg.Requests {
+		for _, r := range plan.Requests[cfg.Requests:] {
+			plan.Lookups -= r.Items
+		}
+		plan.Requests = plan.Requests[:cfg.Requests]
+	}
+	return plan, nil
+}
+
+// pickKind draws one request kind by cumulative weight.
+func pickKind(rng *rand.Rand, m Mix, total float64) Kind {
+	x := rng.Float64() * total
+	for _, c := range []struct {
+		w float64
+		k Kind
+	}{
+		{m.IPHot, KindIPHot},
+		{m.IPCold, KindIPCold},
+		{m.AS, KindAS},
+		{m.Footprint, KindFootprint},
+		{m.Malformed, KindMalformed},
+	} {
+		if x < c.w {
+			return c.k
+		}
+		x -= c.w
+	}
+	return KindIPHot
+}
+
+// ipWithin draws an address inside p. Sampling is capped at a /16 worth
+// of spread: hot traffic concentrates near prefix heads in practice,
+// and the cap keeps the draw cheap for giant prefixes.
+func ipWithin(rng *rand.Rand, p netmodel.Prefix) netmodel.IP {
+	span := p.NumAddrs()
+	if span > 1<<16 {
+		span = 1 << 16
+	}
+	return p.First() + netmodel.IP(rng.Int63n(int64(span)))
+}
+
+// coldIP draws uniformly from the unicast v4 space (1.0.0.0 to
+// 223.255.255.255) — almost always outside the store's prefix table,
+// so these exercise the miss path.
+func coldIP(rng *rand.Rand) netmodel.IP {
+	lo, hi := uint32(0x01000000), uint32(0xDFFFFFFF)
+	return netmodel.IP(lo + uint32(rng.Int63n(int64(hi-lo))))
+}
+
+// malformedPath rotates through realistic client mistakes; the rng
+// picks the variant and fills in the garbage deterministically.
+func malformedPath(rng *rand.Rand) string {
+	switch rng.Intn(6) {
+	case 0:
+		return "/v1/ip/not-an-ip-" + strconv.Itoa(rng.Intn(1000))
+	case 1:
+		return "/v1/ip/999.999.999." + strconv.Itoa(rng.Intn(1000))
+	case 2:
+		return "/v1/as/0"
+	case 3:
+		return "/v1/as/banana" + strconv.Itoa(rng.Intn(1000))
+	case 4:
+		return "/v1/hg/nosuchhg" + strconv.Itoa(rng.Intn(1000)) + "/footprint"
+	default:
+		return "/v1/hg/google/footprint?snapshot=never-" + strconv.Itoa(rng.Intn(1000))
+	}
+}
+
+// schedule paces open-loop arrivals: offsets advance by the reciprocal
+// of the instantaneous rate, which is Rate×BurstFactor inside the
+// first BurstDur of every BurstPeriod and Rate otherwise.
+type schedule struct {
+	rate, burstFactor     float64
+	burstPeriod, burstDur time.Duration
+	t                     time.Duration
+}
+
+func newSchedule(cfg PlanConfig) *schedule {
+	s := &schedule{
+		rate:        cfg.Rate,
+		burstFactor: cfg.BurstFactor,
+		burstPeriod: cfg.BurstPeriod,
+		burstDur:    cfg.BurstDur,
+	}
+	if s.burstFactor <= 0 {
+		s.burstFactor = 1
+	}
+	return s
+}
+
+func (s *schedule) next() time.Duration {
+	if s.rate <= 0 {
+		return 0
+	}
+	at := s.t
+	r := s.rate
+	if s.burstPeriod > 0 && s.burstDur > 0 && s.t%s.burstPeriod < s.burstDur {
+		r *= s.burstFactor
+	}
+	s.t += time.Duration(float64(time.Second) / r)
+	return at
+}

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -215,6 +216,41 @@ func (h HistogramSnapshot) Mean() int64 {
 		return 0
 	}
 	return h.Sum / int64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed
+// values: the inclusive upper edge (2^pow - 1) of the first bucket at
+// which the cumulative count reaches ceil(q·Count). Log2 buckets bound
+// the estimate within 2× of the true value, which is the right
+// resolution for serving-latency percentiles (p50/p99/p999) without
+// storing samples. q is clamped to [0, 1]; an empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= rank {
+			if b.Pow <= 0 {
+				return 0
+			}
+			if b.Pow >= 63 {
+				return math.MaxInt64
+			}
+			return (int64(1) << b.Pow) - 1
+		}
+	}
+	return 0
 }
 
 // Snapshot is a registry frozen at one instant. It marshals to

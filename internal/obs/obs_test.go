@@ -192,3 +192,39 @@ func TestConcurrentNoLostCounts(t *testing.T) {
 		t.Fatalf("bucket sum %d != count %d", inBuckets, h.Count)
 	}
 }
+
+// TestHistogramQuantile: quantiles resolve to the upper bound of the
+// log2 bucket holding the ranked observation.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry("q")
+	h := reg.Histogram("lat")
+	// 90 fast observations in [64,128) and 10 slow in [65536,131072).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000)
+	}
+	hs := reg.Snapshot().Histograms["lat"]
+
+	if got := hs.Quantile(0.50); got != 127 {
+		t.Errorf("p50 = %d, want 127", got)
+	}
+	if got := hs.Quantile(0.90); got != 127 {
+		t.Errorf("p90 = %d, want 127 (rank 90 is the last fast observation)", got)
+	}
+	if got := hs.Quantile(0.99); got != 131071 {
+		t.Errorf("p99 = %d, want 131071", got)
+	}
+	if got := hs.Quantile(1.0); got != 131071 {
+		t.Errorf("p100 = %d, want 131071", got)
+	}
+	// Clamping and the empty histogram.
+	if got := hs.Quantile(-1); got != 127 {
+		t.Errorf("q<0 clamps to min bucket, got %d", got)
+	}
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+}

@@ -1,0 +1,56 @@
+package offnetserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"offnetscope/internal/netmodel"
+)
+
+// batchRequest is the POST /v1/batch body: a flat list of dotted-quad
+// addresses to resolve.
+type batchRequest struct {
+	IPs []string `json:"ips"`
+}
+
+// handleBatch answers POST /v1/batch: amortized bulk IP→HG resolution.
+// One batch consumes one worker-pool slot and one HTTP round trip for
+// up to maxBatch lookups, which is what makes million-lookup runs
+// affordable. The response carries per-item results in input order —
+// an unparseable address yields a per-item error, never a whole-batch
+// failure — plus the store generation every item was resolved against
+// (the whole batch pins one view, so one generation covers all items).
+// Batches bypass the query cache: their item mix is too diverse to
+// reuse and would evict the hot single-query entries.
+func (s *Server) handleBatch(v *view, w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: ~64 bytes covers any quoted
+	// dotted-quad plus JSON framing, so maxBatch items always fit and
+	// a deliberately huge body fails fast.
+	body := http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*64+4096)
+	var req batchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid batch body: %v", err))
+		return
+	}
+	if len(req.IPs) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-item limit", len(req.IPs), s.maxBatch))
+		return
+	}
+	s.batchItems.Add(int64(len(req.IPs)))
+	results := make([]map[string]any, len(req.IPs))
+	for i, raw := range req.IPs {
+		ip, err := netmodel.ParseIP(raw)
+		if err != nil {
+			results[i] = map[string]any{"ip": raw, "error": err.Error()}
+			continue
+		}
+		results[i] = resolveIP(v.st, ip)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": v.gen,
+		"count":      len(req.IPs),
+		"results":    results,
+	})
+}

@@ -1,0 +1,135 @@
+package offnetserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, h http.Handler, url, body string, wantCode int) map[string]any {
+	t.Helper()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("POST %s = %d, want %d: %s", url, rec.Code, wantCode, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v", url, err)
+	}
+	return out
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4})
+	resp := postJSON(t, s, "/v1/batch",
+		`{"ips": ["10.1.2.3", "10.1.99.1", "192.0.2.1", "garbage"]}`, 200)
+
+	if resp["count"] != float64(4) || resp["generation"] != float64(1) {
+		t.Fatalf("batch envelope = %v", resp)
+	}
+	results := resp["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	// Item 0: mapped /24, Google + Netflix.
+	r0 := results[0].(map[string]any)
+	if r0["ip"] != "10.1.2.3" || r0["mapped"] != true || r0["prefix"] != "10.1.2.0/24" {
+		t.Errorf("results[0] = %v", r0)
+	}
+	if got := hostingHGs(r0); len(got) != 2 || got[0] != "Google" || got[1] != "Netflix" {
+		t.Errorf("results[0] hostings = %v", got)
+	}
+	// Item 2: well-formed but unmapped.
+	r2 := results[2].(map[string]any)
+	if r2["mapped"] != false || len(r2["hostings"].([]any)) != 0 {
+		t.Errorf("results[2] = %v", r2)
+	}
+	// Item 3: per-item error, not a whole-batch failure.
+	r3 := results[3].(map[string]any)
+	if r3["ip"] != "garbage" || r3["error"] == nil {
+		t.Errorf("results[3] = %v", r3)
+	}
+
+	snap := s.reg.Snapshot()
+	if got := snap.Counter("http.requests.batch"); got != 1 {
+		t.Errorf("http.requests.batch = %d, want 1 (one worker slot per batch)", got)
+	}
+	if got := snap.Counter("http.batch_items"); got != 4 {
+		t.Errorf("http.batch_items = %d, want 4", got)
+	}
+}
+
+// TestBatchMatchesSingle: for every address, a batch item must carry
+// exactly the single-endpoint answer (modulo the envelope-level
+// generation field, which the batch hoists up because all items pin
+// one view).
+func TestBatchMatchesSingle(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4})
+	ips := []string{"10.1.2.3", "10.1.99.1", "192.0.2.1"}
+
+	quoted := make([]string, len(ips))
+	for i, ip := range ips {
+		quoted[i] = fmt.Sprintf("%q", ip)
+	}
+	batch := postJSON(t, s, "/v1/batch", `{"ips": [`+strings.Join(quoted, ",")+`]}`, 200)
+	results := batch["results"].([]any)
+
+	for i, ip := range ips {
+		single := getJSON(t, s, "/v1/ip/"+ip, 200)
+		delete(single, "generation")
+		if !reflect.DeepEqual(results[i], single) {
+			t.Errorf("batch[%s] = %v\nsingle  = %v", ip, results[i], single)
+		}
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4, MaxBatch: 3})
+
+	// One over the limit: 413 with the limit named.
+	over := postJSON(t, s, "/v1/batch", `{"ips": ["1.1.1.1","2.2.2.2","3.3.3.3","4.4.4.4"]}`, 413)
+	if !strings.Contains(over["error"].(string), "3-item limit") {
+		t.Errorf("413 body = %v", over)
+	}
+	// At the limit: fine.
+	at := postJSON(t, s, "/v1/batch", `{"ips": ["1.1.1.1","2.2.2.2","3.3.3.3"]}`, 200)
+	if at["count"] != float64(3) {
+		t.Errorf("at-limit count = %v", at["count"])
+	}
+	// Malformed body: 400.
+	postJSON(t, s, "/v1/batch", `{"ips": [`, 400)
+	// Empty batch: legal, zero results.
+	empty := postJSON(t, s, "/v1/batch", `{"ips": []}`, 200)
+	if empty["count"] != float64(0) || len(empty["results"].([]any)) != 0 {
+		t.Errorf("empty batch = %v", empty)
+	}
+
+	// GET on the batch route is a method mismatch.
+	req := httptest.NewRequest("GET", "/v1/batch", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch = %d, want 405", rec.Code)
+	}
+}
+
+// TestBatchGenerationTracksReload: the batch envelope reports the
+// generation the whole batch was resolved against, and it moves with
+// reloads like the single endpoints.
+func TestBatchGenerationTracksReload(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4})
+	if got := postJSON(t, s, "/v1/batch", `{"ips": ["10.1.2.3"]}`, 200)["generation"]; got != float64(1) {
+		t.Errorf("generation = %v, want 1", got)
+	}
+	s.Reload(altStore(t))
+	if got := postJSON(t, s, "/v1/batch", `{"ips": ["10.1.2.3"]}`, 200)["generation"]; got != float64(2) {
+		t.Errorf("generation after reload = %v, want 2", got)
+	}
+}

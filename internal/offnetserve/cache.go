@@ -1,0 +1,189 @@
+package offnetserve
+
+import (
+	"container/list"
+	"net/http"
+	"sync"
+
+	"offnetscope/internal/obs"
+)
+
+// entry is one cached response: status, content type, and the rendered
+// JSON body. Bodies are immutable once stored and shared by reference.
+type entry struct {
+	status int
+	ctype  string
+	body   []byte
+}
+
+// ckey keys the cache by (store generation, request URI). Including the
+// generation makes reload invalidation structural: a request pinned to
+// generation G can only ever see entries computed from generation G's
+// store, because the view swaps store and generation atomically.
+type ckey struct {
+	gen uint64
+	q   string
+}
+
+// flight is one in-progress handler execution that concurrent identical
+// requests wait on instead of recomputing — singleflight. The leader
+// fills e, then closes done.
+type flight struct {
+	done chan struct{}
+	e    entry
+}
+
+// cache is a mutex-guarded LRU of rendered answers with singleflight
+// miss deduplication. The serving hot path takes the mutex only for
+// pointer-sized bookkeeping (lookup, list splice); the handler itself
+// always runs outside the lock.
+//
+// Accounting contract (pinned by TestCacheCountersMatchSnapshot):
+// every get/do outcome increments exactly one of hits / misses /
+// shared, misses counts handler executions, evictions counts entries
+// dropped for capacity, and flushed counts entries dropped by a reload.
+// The counters live on the server's obs registry, so /debug/metrics is
+// the authoritative view.
+type cache struct {
+	capacity int
+
+	hits, misses, shared *obs.Counter
+	evictions, flushed   *obs.Counter
+	entriesGauge         *obs.Gauge
+
+	mu      sync.Mutex
+	gen     uint64     // current generation; entries for other generations are not stored
+	ll      *list.List // front = most recently used; element values are *lruItem
+	items   map[ckey]*list.Element
+	flights map[ckey]*flight
+}
+
+type lruItem struct {
+	key ckey
+	e   entry
+}
+
+func newCache(capacity int, reg *obs.Registry) *cache {
+	return &cache{
+		capacity:     capacity,
+		hits:         reg.Counter("cache.hits"),
+		misses:       reg.Counter("cache.misses"),
+		shared:       reg.Counter("cache.shared"),
+		evictions:    reg.Counter("cache.evictions"),
+		flushed:      reg.Counter("cache.flushed"),
+		entriesGauge: reg.Gauge("cache.entries"),
+		gen:          1,
+		ll:           list.New(),
+		items:        make(map[ckey]*list.Element),
+		flights:      make(map[ckey]*flight),
+	}
+}
+
+// get returns the cached answer for (gen, q) and marks it most
+// recently used. A miss is not counted here — do() owns miss
+// accounting, so a get-miss followed by do() counts once.
+func (c *cache) get(gen uint64, q string) (entry, bool) {
+	if c == nil {
+		return entry{}, false
+	}
+	k := ckey{gen: gen, q: q}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*lruItem).e, true
+}
+
+// do resolves (gen, q) through the singleflight: a late hit returns the
+// stored entry, a concurrent identical miss waits for the leader, and
+// otherwise the caller becomes the leader and runs fn exactly once.
+// Only 200s for the cache's current generation are stored, so error
+// responses and answers computed for an already-replaced store never
+// occupy capacity. If fn panics, waiters receive a zero entry (status
+// 0) and the panic propagates to the leader's recovery layer.
+func (c *cache) do(gen uint64, q string, fn func() entry) entry {
+	if c == nil {
+		return fn()
+	}
+	k := ckey{gen: gen, q: q}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		e := el.Value.(*lruItem).e
+		c.mu.Unlock()
+		return e
+	}
+	if f, ok := c.flights[k]; ok {
+		c.shared.Inc()
+		c.mu.Unlock()
+		<-f.done
+		return f.e
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.misses.Inc()
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, k)
+		if f.e.status == http.StatusOK && k.gen == c.gen {
+			c.insertLocked(k, f.e)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.e = fn()
+	return f.e
+}
+
+// insertLocked stores one entry and evicts from the LRU tail past
+// capacity. Caller holds c.mu.
+func (c *cache) insertLocked(k ckey, e entry) {
+	if _, ok := c.items[k]; ok {
+		return // a racing leader for the same key already stored it
+	}
+	c.items[k] = c.ll.PushFront(&lruItem{key: k, e: e})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruItem).key)
+		c.evictions.Inc()
+	}
+	c.entriesGauge.Set(int64(c.ll.Len()))
+}
+
+// flush drops every entry and advances the cache's generation — called
+// on store reload. Entries for the old generation are unreachable from
+// the new view regardless (the generation is part of the key); the
+// flush reclaims their memory immediately and stops in-flight
+// old-generation leaders from storing their results.
+func (c *cache) flush(newGen uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.ll.Len(); n > 0 {
+		c.flushed.Add(int64(n))
+	}
+	c.ll.Init()
+	clear(c.items)
+	c.gen = newGen
+	c.entriesGauge.Set(0)
+}
+
+// len reports the current entry count (tests).
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,267 @@
+package offnetserve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cacheState performs one GET and returns the X-Offnet-Cache header
+// ("hit", "miss", "shared", or "" when the cache is off/bypassed).
+func cacheState(t *testing.T, h http.Handler, url string) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET %s = %d: %s", url, rec.Code, rec.Body.String())
+	}
+	return rec.Header().Get("X-Offnet-Cache")
+}
+
+// TestCacheCountersMatchSnapshot drives a known request sequence and
+// requires the obs snapshot to account for every single cache event
+// exactly — hits, misses, evictions, entries. This is the accounting
+// contract: the cache has no private tallies; /debug/metrics is the
+// authoritative view.
+func TestCacheCountersMatchSnapshot(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4, CacheSize: 2})
+
+	// Three distinct URLs through a 2-entry cache: three misses, one
+	// eviction (the first URL falls off when the third is inserted).
+	if got := cacheState(t, s, "/v1/ip/10.1.2.3"); got != "miss" {
+		t.Fatalf("first lookup = %q, want miss", got)
+	}
+	if got := cacheState(t, s, "/v1/as/200"); got != "miss" {
+		t.Fatalf("second lookup = %q, want miss", got)
+	}
+	if got := cacheState(t, s, "/v1/hg/google/footprint"); got != "miss" {
+		t.Fatalf("third lookup = %q, want miss", got)
+	}
+	// The two survivors hit; the evicted one misses again (evicting
+	// the next-oldest).
+	if got := cacheState(t, s, "/v1/hg/google/footprint"); got != "hit" {
+		t.Fatalf("footprint re-lookup = %q, want hit", got)
+	}
+	if got := cacheState(t, s, "/v1/ip/10.1.2.3"); got != "miss" {
+		t.Fatalf("evicted lookup = %q, want miss", got)
+	}
+
+	snap := s.reg.Snapshot()
+	for name, want := range map[string]int64{
+		"cache.hits":      1,
+		"cache.misses":    4,
+		"cache.shared":    0,
+		"cache.evictions": 2,
+		"cache.flushed":   0,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["cache.entries"]; got != 2 {
+		t.Errorf("cache.entries gauge = %d, want 2", got)
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Errorf("cache.len() = %d, want 2 (must match the gauge)", got)
+	}
+
+	// Query strings are part of the key: the same endpoint with a
+	// different snapshot is a different entry.
+	if got := cacheState(t, s, "/v1/hg/google/footprint?snapshot=2021-01"); got != "miss" {
+		t.Errorf("distinct query string = %q, want miss", got)
+	}
+}
+
+// TestCacheSingleflightDedup fires many concurrent identical queries
+// through a deliberately slow handler: exactly one execution may
+// happen; everyone else must wait on that flight (shared) or hit the
+// stored entry. The obs counters must balance to the request count.
+func TestCacheSingleflightDedup(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 64, CacheSize: 8})
+	var executions atomic.Int64
+	slow := s.wrap("ip", true, func(v *view, w http.ResponseWriter, r *http.Request) {
+		executions.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		writeJSON(w, http.StatusOK, map[string]any{"slow": true, "generation": v.gen})
+	})
+
+	const clients = 50
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest("GET", "/v1/ip/10.1.2.3", nil)
+			rec := httptest.NewRecorder()
+			slow(rec, req)
+			if rec.Code != 200 {
+				t.Errorf("concurrent lookup = %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("handler executed %d times under singleflight, want 1", got)
+	}
+	snap := s.reg.Snapshot()
+	misses := snap.Counter("cache.misses")
+	hits := snap.Counter("cache.hits")
+	shared := snap.Counter("cache.shared")
+	if misses != 1 {
+		t.Errorf("cache.misses = %d, want 1", misses)
+	}
+	if hits+shared+misses != clients {
+		t.Errorf("hits(%d) + shared(%d) + misses(%d) != %d requests", hits, shared, misses, clients)
+	}
+	if shared == 0 {
+		t.Error("no shared flights despite 50 concurrent identical queries")
+	}
+}
+
+// TestCacheLeaderPanic: a panicking singleflight leader must not
+// deadlock its waiters or leak the flight; the next request recomputes.
+func TestCacheLeaderPanic(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 8, CacheSize: 8})
+	var calls atomic.Int64
+	flaky := s.wrap("ip", true, func(v *view, w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			panic("first call explodes")
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+
+	req := httptest.NewRequest("GET", "/v1/ip/10.1.2.3", nil)
+	rec := httptest.NewRecorder()
+	flaky(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking leader = %d, want 500", rec.Code)
+	}
+	// The flight was cleaned up: a retry recomputes and succeeds.
+	rec = httptest.NewRecorder()
+	flaky(rec, httptest.NewRequest("GET", "/v1/ip/10.1.2.3", nil))
+	if rec.Code != 200 {
+		t.Fatalf("retry after panic = %d, want 200", rec.Code)
+	}
+	// The failed execution must not have been stored.
+	if got := s.reg.Snapshot().Counter("cache.misses"); got != 2 {
+		t.Errorf("cache.misses = %d, want 2 (panic result not cached)", got)
+	}
+}
+
+// TestCacheGenerationKeying: a reload flushes the cache and moves the
+// key space, so the same URL misses again and recomputes against the
+// new store — never serves the old generation's answer.
+func TestCacheGenerationKeying(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4, CacheSize: 8})
+	url := "/v1/hg/google/footprint?snapshot=2021-04"
+
+	if got := cacheState(t, s, url); got != "miss" {
+		t.Fatalf("first = %q, want miss", got)
+	}
+	before := getJSON(t, s, url, 200)
+	if before["count"] != float64(2) || before["generation"] != float64(1) {
+		t.Fatalf("gen-1 answer = %v", before)
+	}
+	if got := cacheState(t, s, url); got != "hit" {
+		t.Fatalf("second = %q, want hit", got)
+	}
+
+	s.Reload(altStore(t)) // Google's 2021-04 footprint grows to 3 ASes
+
+	if got := cacheState(t, s, url); got != "miss" {
+		t.Fatalf("post-reload = %q, want miss (old generation must not hit)", got)
+	}
+	after := getJSON(t, s, url, 200)
+	if after["count"] != float64(3) || after["generation"] != float64(2) {
+		t.Fatalf("gen-2 answer = %v", after)
+	}
+
+	snap := s.reg.Snapshot()
+	if got := snap.Counter("cache.flushed"); got != 1 {
+		t.Errorf("cache.flushed = %d, want 1", got)
+	}
+}
+
+// TestCacheGenerationConsistencyUnderReload is the reload-race proof
+// for the cache path: sustained concurrent traffic across many store
+// swaps, where every response's generation field must match the
+// content it carries. testStore answers count=2 on odd generations,
+// altStore count=3 on even ones — a cache hit leaking across a reload
+// would pair a new generation with the old count. Run under -race via
+// `make chaos-race`.
+func TestCacheGenerationConsistencyUnderReload(t *testing.T) {
+	a, b := testStore(t), altStore(t)
+	s := New(a, Config{Workers: 16, QueueWait: 5 * time.Second, CacheSize: 16})
+	url := "/v1/hg/google/footprint?snapshot=2021-04"
+
+	stop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				s.Reload(b) // even swap count -> even generation
+			} else {
+				s.Reload(a)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const clients = 800
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := getJSON(t, s, url, 200)
+			gen := uint64(resp["generation"].(float64))
+			count := int(resp["count"].(float64))
+			want := 2 // odd generations serve testStore
+			if gen%2 == 0 {
+				want = 3 // even generations serve altStore
+			}
+			if count != want {
+				errs <- fmt.Sprintf("generation %d served count %d, want %d — stale cache hit across reload", gen, count, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	swapWG.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestCacheDisabled: CacheSize 0 serves without the cache layer or its
+// header, and never populates cache counters.
+func TestCacheDisabled(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 4})
+	req := httptest.NewRequest("GET", "/v1/ip/10.1.2.3", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("lookup = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Offnet-Cache"); got != "" {
+		t.Errorf("X-Offnet-Cache = %q with cache disabled", got)
+	}
+	if got := s.reg.Snapshot().Counter("cache.misses"); got != 0 {
+		t.Errorf("cache.misses = %d with cache disabled", got)
+	}
+}
