@@ -1,14 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest experiments corpus serve clean
+.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest soak-smoke soak experiments corpus serve clean
 
 all: build vet test
 
 # The full pre-merge gate: build, vet, unit tests, the race detector,
 # a short fuzz pass over every decoder, the chaos/fault-injection
 # suite under race, the golden-regression suite, one-iteration
-# benchmark smoke, and the serving-stack load smoke.
-ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest
+# benchmark smoke, the serving-stack load smoke, and the short
+# crash-only soak.
+ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest soak-smoke
 
 build:
 	go build ./...
@@ -43,14 +44,18 @@ fuzz-smoke:
 # The fault-injection suite under the race detector: corrupted-corpus
 # ingestion, the kill/resume crash-equivalence suite, parallel-runner
 # determinism (including the mid-run cancellation regression), hot
-# reload under load, the serving engine's cache/batch/reload races,
-# the SIGHUP-under-loadgen-traffic e2e, and the chaos reader itself.
+# reload under load, the serving engine's cache/batch/reload/deadline/
+# breaker races plus its goroutine-leak check, the probe breaker, the
+# SIGHUP-under-loadgen-traffic e2es (good and alternating-corrupt),
+# and the chaos layer itself (reader, HTTP transport, TCP proxy).
 chaos-race:
 	go test -race ./internal/chaos ./internal/resilience ./internal/runstate ./internal/obs
 	go test -race -run 'TestChaos|TestTolerant|TestWriteNDJSONCrashSafe|TestCrashResume|TestGrowthJobs' ./internal/corpus ./cmd/offnetmap
 	go test -race -run 'TestRunStudyConfig' ./internal/core
-	go test -race -run 'TestHotReload|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration|TestCache|TestBatch|TestConcurrentLoad' ./internal/offnetserve
-	go test -race -run 'TestSIGHUP' ./cmd/offnetd
+	go test -race -run 'TestHotReload|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration|TestReloadFile|TestSmokeValidate|TestCache|TestBatch|TestConcurrentLoad|TestDeadline|TestBreaker|TestShed|TestGoroutineLeak' ./internal/offnetserve
+	go test -race -run 'TestProbeBreaker' ./internal/probe
+	go test -race -run 'TestSIGHUP|TestServerTimeout' ./cmd/offnetd
+	go test -race -run 'TestClassifyTransport|TestDriveClassifies' ./internal/loadgen
 
 # The golden-regression suite: exact funnel metrics, growth series,
 # and report tables of the seeded study — sequential, parallel (-jobs),
@@ -85,6 +90,19 @@ bench-serve:
 # 5xx) and reproduce its trace hash.
 loadtest:
 	go test -run 'TestLoadtestSmoke|TestTraceDeterminism' -count=1 ./cmd/loadgen
+
+# Short crash-only soak under the race detector (~seconds): seeded
+# chaos traffic against a live daemon under SIGHUP reloads alternating
+# good/corrupt store files, plus the run-twice determinism and report
+# format pins. Part of `make ci`.
+soak-smoke:
+	go test -race -count=1 ./cmd/soak
+
+# The full pre-release soak: a longer seeded run with the default
+# chaos rates. The SLO report lands on stdout; the exit status is the
+# verdict (nonzero on any violation).
+soak:
+	go run ./cmd/soak -requests 200000 -rate 4000 -reloads 40
 
 # Regenerate every table/figure/validation at the default scale and
 # refresh the committed results (plus CSV exports for plotting).

@@ -19,6 +19,8 @@
 //
 //	offnetd -store offnets.fst [-addr localhost:8097] [-workers 256] [-timeout 5s]
 //	        [-queue-wait 1s] [-cache 4096] [-max-batch 1024] [-pprof]
+//	        [-read-header-timeout 5s] [-read-timeout 30s] [-write-timeout 30s]
+//	        [-idle-timeout 60s] [-breaker-failures 32] [-breaker-open-for 1s]
 //
 // Every /v1/* response body carries the store "generation" it was
 // answered from, so clients can detect reload races. -cache N keeps the
@@ -28,11 +30,17 @@
 // disables caching). Production behavior: requests beyond the worker
 // pool queue up to -queue-wait and are then shed with 429 +
 // Retry-After (the hint is -queue-wait rounded up to whole seconds);
-// handler panics cost one 500, never the process. SIGHUP re-opens the
-// store file, validates it, and atomically swaps it in with zero
-// downtime (a bad file is rejected and the current store keeps
-// serving); the store generation counter and last-reload timestamp
-// under offnetd.store in /debug/vars confirm a reload actually landed.
+// -timeout is an end-to-end per-request deadline (queueing included)
+// that answers 504 on expiry; repeated server-side failures trip a
+// circuit breaker (-breaker-failures, -breaker-open-for) that fails
+// fast with 503; handler panics cost one 500, never the process. The
+// four -read-header/-read/-write/-idle-timeout flags bound connection
+// lifecycles at the http.Server layer (slowloris defense). SIGHUP
+// re-opens the store file, validates it structurally AND with smoke
+// queries, and atomically swaps it in with zero downtime — a corrupt,
+// empty, or otherwise invalid file is rejected, the current store
+// keeps serving, reload.rejected counts the refusal, and /readyz
+// reports "degraded": "reload-rejected" until a good reload lands.
 // The daemon shuts down gracefully on SIGINT/SIGTERM.
 //
 // The serving engine itself lives in internal/offnetserve, so the load
@@ -67,56 +75,111 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, stdout io.Writer) error {
-	fs := flag.NewFlagSet("offnetd", flag.ContinueOnError)
-	storePath := fs.String("store", "", "footstore file written by offnetmap -store (required)")
-	addr := fs.String("addr", "localhost:8097", "listen address")
-	workers := fs.Int("workers", 256, "max concurrently served requests")
-	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
-	queueWait := fs.Duration("queue-wait", time.Second, "max time a request queues for a worker before a 429 shed")
-	cacheSize := fs.Int("cache", 4096, "query-cache capacity in entries (0 disables the cache)")
-	maxBatch := fs.Int("max-batch", offnetserve.DefaultMaxBatch, "max IPs per /v1/batch request")
-	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (CPU profiles need ?seconds= below -timeout)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *storePath == "" {
-		fs.Usage()
-		return fmt.Errorf("-store is required")
-	}
+// daemonConfig is the parsed flag set — split out of run so tests can
+// pin the flag → server wiring without a socket.
+type daemonConfig struct {
+	storePath string
+	addr      string
+	workers   int
+	timeout   time.Duration
+	queueWait time.Duration
+	cacheSize int
+	maxBatch  int
+	pprofOn   bool
 
-	st, err := footstore.Open(*storePath)
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+
+	breakerFailures int
+	breakerOpenFor  time.Duration
+}
+
+func parseFlags(args []string) (*daemonConfig, error) {
+	cfg := &daemonConfig{}
+	fs := flag.NewFlagSet("offnetd", flag.ContinueOnError)
+	fs.StringVar(&cfg.storePath, "store", "", "footstore file written by offnetmap -store (required)")
+	fs.StringVar(&cfg.addr, "addr", "localhost:8097", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 256, "max concurrently served requests")
+	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "end-to-end per-request deadline, queueing included (504 on expiry; 0 disables)")
+	fs.DurationVar(&cfg.queueWait, "queue-wait", time.Second, "max time a request queues for a worker before a 429 shed")
+	fs.IntVar(&cfg.cacheSize, "cache", 4096, "query-cache capacity in entries (0 disables the cache)")
+	fs.IntVar(&cfg.maxBatch, "max-batch", offnetserve.DefaultMaxBatch, "max IPs per /v1/batch request")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (CPU profiles need ?seconds= below -timeout)")
+	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris bound)")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "http.Server ReadTimeout (whole request read)")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "http.Server WriteTimeout (whole response write)")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 60*time.Second, "http.Server IdleTimeout (keep-alive connections)")
+	fs.IntVar(&cfg.breakerFailures, "breaker-failures", 32, "consecutive server-side failures tripping the overload breaker (negative disables)")
+	fs.DurationVar(&cfg.breakerOpenFor, "breaker-open-for", time.Second, "how long a tripped breaker fails fast before probing")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.storePath == "" {
+		fs.Usage()
+		return nil, fmt.Errorf("-store is required")
+	}
+	return cfg, nil
+}
+
+// newHTTPServer wires the connection-lifecycle timeouts. Per-request
+// deadlines live inside the serving engine (offnetserve wraps every
+// request in a context deadline), so no http.TimeoutHandler: these
+// four bounds exist to shed malicious or dying connections — slow
+// headers, slow bodies, unread responses, idle keep-alives — before
+// they pin server state.
+func newHTTPServer(cfg *daemonConfig, h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "loaded %s: %s\n", *storePath, storeSummary(st))
+
+	st, err := footstore.Open(cfg.storePath)
+	if err != nil {
+		return err
+	}
+	if err := offnetserve.SmokeValidate(st); err != nil {
+		return fmt.Errorf("initial store failed validation: %w", err)
+	}
+	fmt.Fprintf(stdout, "loaded %s: %s\n", cfg.storePath, storeSummary(st))
 
 	s := offnetserve.New(st, offnetserve.Config{
-		Workers:   *workers,
-		QueueWait: *queueWait,
-		CacheSize: *cacheSize,
-		MaxBatch:  *maxBatch,
+		Workers:         cfg.workers,
+		QueueWait:       cfg.queueWait,
+		CacheSize:       cfg.cacheSize,
+		MaxBatch:        cfg.maxBatch,
+		RequestTimeout:  cfg.timeout,
+		BreakerFailures: cfg.breakerFailures,
+		BreakerOpenFor:  cfg.breakerOpenFor,
 	})
-	if *pprofOn {
+	if cfg.pprofOn {
 		s.EnablePprof()
 		fmt.Fprintln(stdout, "pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{
-		Handler:           http.TimeoutHandler(s, *timeout, `{"error":"request timed out"}`),
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       60 * time.Second,
-	}
-	ln, err := net.Listen("tcp", *addr)
+	srv := newHTTPServer(cfg, s)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "serving on http://%s (workers=%d timeout=%s queue-wait=%s cache=%d max-batch=%d)\n",
-		ln.Addr(), *workers, *timeout, *queueWait, *cacheSize, *maxBatch)
+		ln.Addr(), cfg.workers, cfg.timeout, cfg.queueWait, cfg.cacheSize, cfg.maxBatch)
 
-	// Hot reload: SIGHUP re-opens the store file. footstore.Open fully
-	// validates the file (magic, version, CRC) before we swap the
-	// pointer, so a half-written or corrupt file can never reach
-	// serving traffic — the current store stays live instead.
+	// Hot reload: SIGHUP re-opens the store file. ReloadFile validates
+	// the candidate — file integrity (magic, version, CRC) plus
+	// structure and smoke queries — before the swap, so a half-written
+	// or corrupt file can never reach serving traffic: the current
+	// store stays live and /readyz reports the degradation instead.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
@@ -128,13 +191,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		case err := <-errc:
 			return err
 		case <-hup:
-			next, err := footstore.Open(*storePath)
-			if err != nil {
+			if err := s.ReloadFile(cfg.storePath); err != nil {
 				fmt.Fprintf(stdout, "reload failed, keeping current store: %v\n", err)
 				continue
 			}
-			s.Reload(next)
-			fmt.Fprintf(stdout, "reloaded %s (generation %d): %s\n", *storePath, s.Generation(), storeSummary(next))
+			fmt.Fprintf(stdout, "reloaded %s (generation %d): %s\n", cfg.storePath, s.Generation(), storeSummary(s.Store()))
 		case <-ctx.Done():
 			fmt.Fprintln(stdout, "shutting down")
 			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -273,7 +273,7 @@ func TestSIGHUPLoadgenNoStaleGeneration(t *testing.T) {
 	var mu sync.Mutex
 	var violations []string
 	checked := 0
-	onResponse := func(req *loadgen.Request, status int, body []byte) {
+	onResponse := func(req *loadgen.Request, status int, _ http.Header, body []byte) {
 		if status != 200 {
 			return
 		}

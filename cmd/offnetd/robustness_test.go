@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"offnetscope/internal/loadgen"
+)
+
+// TestServerTimeoutFlagWiring pins every http.Server timeout to its
+// flag: the daemon once shipped with no ReadTimeout/WriteTimeout and a
+// hardcoded ReadHeaderTimeout, leaving it open to slowloris-style
+// connection exhaustion. All four must come from flags and default
+// non-zero.
+func TestServerTimeoutFlagWiring(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-store", "x.fst",
+		"-read-header-timeout", "7s",
+		"-read-timeout", "11s",
+		"-write-timeout", "13s",
+		"-idle-timeout", "17s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(cfg, http.NotFoundHandler())
+	if got := srv.ReadHeaderTimeout; got != 7*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 7s", got)
+	}
+	if got := srv.ReadTimeout; got != 11*time.Second {
+		t.Errorf("ReadTimeout = %v, want 11s", got)
+	}
+	if got := srv.WriteTimeout; got != 13*time.Second {
+		t.Errorf("WriteTimeout = %v, want 13s", got)
+	}
+	if got := srv.IdleTimeout; got != 17*time.Second {
+		t.Errorf("IdleTimeout = %v, want 17s", got)
+	}
+
+	// Defaults must not regress to zero (zero = unbounded = slowloris).
+	def, err := parseFlags([]string{"-store", "x.fst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrv := newHTTPServer(def, http.NotFoundHandler())
+	for name, d := range map[string]time.Duration{
+		"ReadHeaderTimeout": dsrv.ReadHeaderTimeout,
+		"ReadTimeout":       dsrv.ReadTimeout,
+		"WriteTimeout":      dsrv.WriteTimeout,
+		"IdleTimeout":       dsrv.IdleTimeout,
+	} {
+		if d <= 0 {
+			t.Errorf("default %s is %v, want > 0", name, d)
+		}
+	}
+}
+
+// countWait blocks until substr appears at least n times in the
+// daemon's output.
+func countWait(t *testing.T, out *syncWriter, substr string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Count(out.String(), substr) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %q #%d:\n%s", substr, n, out.String())
+}
+
+// fetchMetrics pulls /debug/metrics and returns the counters map.
+func fetchMetrics(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters
+}
+
+// TestSIGHUPAlternatingCorruptReloads is the crash-only e2e: a daemon
+// under live loadgen traffic takes 6 SIGHUP reloads alternating valid
+// and corrupt store files. The process must never restart, every
+// served generation must be one that was validated-and-committed,
+// reload.rejected must equal the corrupt count, and /readyz must show
+// the degradation after a rejection and clear it after the next good
+// reload. Runs under -race via `make chaos-race`.
+func TestSIGHUPAlternatingCorruptReloads(t *testing.T) {
+	path := t.TempDir() + "/store.fst"
+	st := testStore(t)
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes := altStore(t).Encode()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncWriter{}
+	base, done := startDaemon(t, ctx, out, path, "-cache", "256", "-timeout", "10s")
+
+	plan, err := loadgen.BuildPlan(st, loadgen.PlanConfig{Seed: 9, Requests: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCtx, driveCancel := context.WithCancel(ctx)
+	defer driveCancel()
+	repCh := make(chan *loadgen.Report, 1)
+	go func() {
+		rep, _ := loadgen.Drive(driveCtx, plan, &http.Client{Timeout: 10 * time.Second}, loadgen.Options{
+			Concurrency: 8,
+			BaseURL:     base,
+		})
+		repCh <- rep
+	}()
+
+	readyz := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		m := map[string]any{}
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("readyz body %q: %v", body, err)
+		}
+		return m
+	}
+
+	// 6 reloads: valid, corrupt, valid, corrupt, valid, corrupt.
+	corrupted := [][]byte{
+		goodBytes[:len(goodBytes)/2],
+		append([]byte("XXXX"), goodBytes[4:]...),
+		[]byte("definitely not a footstore"),
+	}
+	accepted, rejected := 0, 0
+	for i := 0; i < 6; i++ {
+		var data []byte
+		if i%2 == 0 {
+			data = goodBytes
+		} else {
+			data = corrupted[i/2]
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			accepted++
+			countWait(t, out, "reloaded", accepted)
+			if d, ok := readyz()["degraded"]; ok {
+				t.Errorf("after good reload %d: readyz still degraded: %v", accepted, d)
+			}
+		} else {
+			rejected++
+			countWait(t, out, "reload failed", rejected)
+			if got := readyz()["degraded"]; got != "reload-rejected" {
+				t.Errorf("after corrupt reload %d: degraded = %v, want reload-rejected", rejected, got)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	driveCancel()
+	rep := <-repCh
+	if rep == nil {
+		t.Fatal("driver returned no report")
+	}
+
+	// Every response generation must be validated-and-committed: 1
+	// (initial) through 4 (three accepted reloads). A generation outside
+	// that set means a torn or uncommitted view was served.
+	committed := map[string]bool{"1": true, "2": true, "3": true, "4": true}
+	for gen, n := range rep.Generations {
+		if !committed[gen] {
+			t.Errorf("%d responses served from uncommitted generation %s", n, gen)
+		}
+	}
+	if len(rep.Generations) == 0 {
+		t.Fatal("no generations observed — loadgen never hit the daemon")
+	}
+
+	counters := fetchMetrics(t, base)
+	if got := counters["reload.rejected"]; got != int64(rejected) {
+		t.Errorf("reload.rejected = %d, want %d", got, rejected)
+	}
+	if got := counters["reload.accepted"]; got != int64(accepted) {
+		t.Errorf("reload.accepted = %d, want %d", got, accepted)
+	}
+
+	// The daemon never restarted: its run() is still live and serving.
+	select {
+	case err := <-done:
+		t.Fatalf("daemon exited mid-test: %v", err)
+	default:
+	}
+	resp, err := http.Get(base + fmt.Sprintf("/v1/hg/google/footprint?snapshot=%s", "2021-04"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-chaos query = %d, want 200", resp.StatusCode)
+	}
+
+	// Final good reload clears the lingering degradation from reload 6.
+	if err := os.WriteFile(path, goodBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	countWait(t, out, "reloaded", accepted+1)
+	if d, ok := readyz()["degraded"]; ok {
+		t.Errorf("degraded survived the clearing reload: %v", d)
+	}
+	gen := readyz()["generation"].(float64)
+	if int(gen) != accepted+2 {
+		t.Errorf("final generation = %v, want %d", gen, accepted+2)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

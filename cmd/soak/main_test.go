@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+)
+
+func smokeConfig(t *testing.T) *soakConfig {
+	t.Helper()
+	cfg, err := parseFlags([]string{
+		"-requests", "600",
+		"-rate", "1200",
+		"-reloads", "4",
+		"-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestSoakSmoke runs a short seeded soak — live socket, chaos
+// transport and proxy, SIGHUP reloads alternating good/corrupt — and
+// requires a clean SLO verdict. This is the `make soak-smoke` CI gate
+// and runs under -race.
+func TestSoakSmoke(t *testing.T) {
+	cfg := smokeConfig(t)
+	rep, err := soak(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("SLO violated: %v", rep.Violations)
+	}
+	if rep.ReloadsAccepted != 2 || rep.ReloadsRejected != 2 {
+		t.Errorf("reloads = %d accepted / %d rejected, want 2/2",
+			rep.ReloadsAccepted, rep.ReloadsRejected)
+	}
+	if rep.StaleGenerations != 0 || rep.TornResponses != 0 || rep.Genuine5xx != 0 {
+		t.Errorf("stale=%d torn=%d genuine5xx=%d, want all zero",
+			rep.StaleGenerations, rep.TornResponses, rep.Genuine5xx)
+	}
+	// Injected faults must reconcile exactly with what the driver saw:
+	// every injected 502 arrived marked, every truncated body surfaced
+	// as a transport eof, every reset as a transport reset.
+	f := rep.InjectedFaults
+	if f.Resets == 0 || f.Injected5xx == 0 || f.TruncatedBodies == 0 {
+		t.Fatalf("chaos injected nothing at these rates: %+v", f)
+	}
+	if rep.Injected5xxSeen != int(f.Injected5xx) {
+		t.Errorf("injected 5xx seen = %d, injected %d", rep.Injected5xxSeen, f.Injected5xx)
+	}
+	if got := rep.TransportByClass["eof"]; got != int(f.TruncatedBodies) {
+		t.Errorf("eof bucket = %d, truncated %d", got, f.TruncatedBodies)
+	}
+	if got := rep.TransportByClass["reset"]; got != int(f.Resets) {
+		t.Errorf("reset bucket = %d, reset %d", got, f.Resets)
+	}
+	if rep.Timing.DurationNs <= 0 {
+		t.Error("timing section missing a duration")
+	}
+}
+
+// TestSoakDeterministicModuloTiming: two runs with the same flags must
+// produce byte-identical reports once the timing section is zeroed —
+// the acceptance bar for the chaos layer's schedule independence.
+func TestSoakDeterministicModuloTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full soak runs")
+	}
+	strip := func(rep *Report) []byte {
+		rep.Timing = Timing{}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	r1, err := soak(context.Background(), smokeConfig(t), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := soak(context.Background(), smokeConfig(t), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := strip(r1), strip(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("reports differ modulo timing:\n--- run 1\n%s\n--- run 2\n%s", b1, b2)
+	}
+}
+
+// TestReportFormatPinned freezes the report's JSON shape: consumers
+// (CI graders, dashboards) parse these exact keys, so renaming or
+// dropping one is a breaking change this test makes loud.
+func TestReportFormatPinned(t *testing.T) {
+	rep := &Report{
+		Seed:             7,
+		TraceHash:        "abcd",
+		Requests:         10,
+		ByStatus:         map[string]int{"200": 10},
+		TransportByClass: map[string]int{},
+		Violations:       []string{},
+		Pass:             true,
+		Timing:           Timing{DurationNs: int64(time.Second)},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"seed":7,"trace_hash":"abcd","requests":10,` +
+		`"by_status":{"200":10},"transport_by_class":{},` +
+		`"injected_faults":{"latency_spikes":0,"resets":0,"injected_5xx":0,"truncated_bodies":0},` +
+		`"injected_5xx_seen":0,"genuine_5xx":0,` +
+		`"reloads_accepted":0,"reloads_rejected":0,` +
+		`"stale_generations":0,"torn_responses":0,` +
+		`"violations":[],"pass":true,` +
+		`"timing":{"duration_ns":1000000000,"p50_ns":0,"p99_ns":0,` +
+		`"goroutines_before":0,"goroutines_after":0,` +
+		`"proxy_faults":{"latency_spikes":0,"resets":0,"injected_5xx":0,"truncated_bodies":0}}}`
+	if string(b) != want {
+		t.Fatalf("report JSON shape changed:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestCorruptVariantsAreDeterministic: the reload driver's damage is a
+// pure function of (good bytes, index) — a prerequisite for the
+// deterministic rejected-reload count.
+func TestCorruptVariantsAreDeterministic(t *testing.T) {
+	good := buildStore(7).Encode()
+	for i := 0; i < 6; i++ {
+		a, b := corruptVariant(good, i), corruptVariant(good, i)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("variant %d not deterministic", i)
+		}
+		if bytes.Equal(a, good) {
+			t.Fatalf("variant %d did not damage the image", i)
+		}
+	}
+}
+
+// TestBuildStoreDeterministic: same seed, same store bytes; different
+// seed, different store.
+func TestBuildStoreDeterministic(t *testing.T) {
+	a, b := buildStore(3).Encode(), buildStore(3).Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different stores")
+	}
+	if bytes.Equal(a, buildStore(4).Encode()) {
+		t.Fatal("different seeds produced identical stores")
+	}
+}

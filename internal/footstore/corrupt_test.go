@@ -1,0 +1,137 @@
+package footstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/timeline"
+)
+
+// corruptTestStore builds a small valid store to mutilate.
+func corruptTestStore(t *testing.T) *Store {
+	t.Helper()
+	s1, _ := timeline.FromLabel("2020-10")
+	s2, _ := timeline.FromLabel("2021-01")
+	b := NewBuilder()
+	if err := b.AddSnapshot(s1, map[hg.ID][]astopo.ASN{hg.Google: {100, 200}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSnapshot(s2, map[hg.ID][]astopo.ASN{hg.Google: {200}, hg.Netflix: {300}}); err != nil {
+		t.Fatal(err)
+	}
+	b.AddPrefix(netmodel.MustParsePrefix("10.0.0.0/16"), []astopo.ASN{100})
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCorruptErrorClassification is the ErrCorrupt contract: every way a
+// store file's bytes can be wrong — truncation, bit flips, bad magic,
+// garbage, structural damage behind a fixed-up CRC — must surface as a
+// CorruptError matching errors.Is(err, ErrCorrupt), while a missing file
+// and an intact-but-newer version must NOT, so reload validation and
+// -tolerant callers can budget real corruption separately.
+func TestCorruptErrorClassification(t *testing.T) {
+	good := corruptTestStore(t).Encode()
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("sanity: good bytes must decode: %v", err)
+	}
+
+	flip := func(data []byte, off int, mask byte) []byte {
+		out := append([]byte(nil), data...)
+		out[off] ^= mask
+		return out
+	}
+
+	cases := []struct {
+		name        string
+		data        []byte
+		wantCorrupt bool
+	}{
+		{"truncated-half", good[:len(good)/2], true},
+		{"truncated-tail", good[:len(good)-1], true},
+		{"truncated-below-header", good[:6], true},
+		{"bit-flip-body", flip(good, len(good)/2, 0x10), true},
+		{"bit-flip-crc", flip(good, len(good)-2, 0x01), true},
+		{"bad-magic", flip(good, 0, 0xFF), true},
+		{"empty", nil, true},
+		{"garbage", []byte("definitely not a footstore"), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if err == nil {
+				t.Fatal("Decode accepted corrupt bytes")
+			}
+			if got := errors.Is(err, ErrCorrupt); got != tc.wantCorrupt {
+				t.Fatalf("errors.Is(err, ErrCorrupt) = %v, want %v (err: %v)", got, tc.wantCorrupt, err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is not a *CorruptError: %v", err)
+			}
+			if ce.Reason == "" {
+				t.Errorf("CorruptError carries no reason: %+v", ce)
+			}
+			if ce.Offset < 0 || ce.Offset > len(tc.data) {
+				t.Errorf("CorruptError offset %d outside [0, %d]", ce.Offset, len(tc.data))
+			}
+		})
+	}
+}
+
+// TestCorruptErrorOpenCarriesPath pins that Open attaches the file path
+// to the typed error, and that a missing file is NOT classified corrupt.
+func TestCorruptErrorOpenCarriesPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.fst")
+	good := corruptTestStore(t).Encode()
+	if err := os.WriteFile(path, good[:len(good)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file: errors.Is(err, ErrCorrupt) = false (err: %v)", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Path != path {
+		t.Fatalf("Open error does not carry the path: %v", err)
+	}
+
+	_, err = Open(filepath.Join(dir, "nope.fst"))
+	if err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing file misclassified as corrupt: %v", err)
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file should match fs.ErrNotExist: %v", err)
+	}
+}
+
+// TestUnsupportedVersionNotCorrupt: a structurally intact file with a
+// newer version number is a compatibility problem, not corruption.
+func TestUnsupportedVersionNotCorrupt(t *testing.T) {
+	// Rebuild a minimal file by hand: magic + version 2 + valid CRC.
+	data := append([]byte(nil), magic...)
+	data = append(data, 2) // uvarint version 2
+	data = binary.LittleEndian.AppendUint32(data, crc32.ChecksumIEEE(data))
+	_, err := Decode(data)
+	if err == nil {
+		t.Fatal("unsupported version must fail")
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Errorf("unsupported version misclassified as corrupt: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package footstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -133,6 +134,32 @@ func (st *Store) Save(path string) error {
 	return nil
 }
 
+// ErrCorrupt is the sentinel every corruption error matches via
+// errors.Is: bad magic, checksum mismatch, or a structural violation
+// inside a file whose bytes cannot be a store. It deliberately excludes
+// missing files (fs.ErrNotExist) and unsupported-but-intact newer
+// versions, so reload validation and -tolerant callers can budget
+// corruption separately from configuration mistakes.
+var ErrCorrupt = errors.New("corrupt store")
+
+// CorruptError is the concrete corruption error: where decoding gave up
+// and why. Open fills Path; in-memory decodes leave it empty.
+type CorruptError struct {
+	Path   string // file path when known
+	Offset int    // byte offset at which decoding failed
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("footstore: %s: %s (offset %d)", e.Path, e.Reason, e.Offset)
+	}
+	return fmt.Sprintf("footstore: %s (offset %d)", e.Reason, e.Offset)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match any CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
 // Read decodes a store from r.
 func Read(r io.Reader) (*Store, error) {
 	data, err := io.ReadAll(r)
@@ -150,7 +177,12 @@ func Open(path string) (*Store, error) {
 	}
 	st, err := Decode(data)
 	if err != nil {
-		// Decode errors already carry the footstore: prefix.
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = path
+			return nil, ce
+		}
+		// Other decode errors already carry the footstore: prefix.
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return st, nil
@@ -160,11 +192,11 @@ func Open(path string) (*Store, error) {
 // input. It never panics on malformed bytes (see FuzzFootstoreDecode).
 func Decode(data []byte) (*Store, error) {
 	if len(data) < len(magic)+4 || !bytes.Equal(data[:len(magic)], magic) {
-		return nil, fmt.Errorf("footstore: bad magic")
+		return nil, &CorruptError{Offset: 0, Reason: "bad magic"}
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("footstore: checksum mismatch (corrupt or truncated)")
+		return nil, &CorruptError{Offset: len(body), Reason: "checksum mismatch (corrupt or truncated)"}
 	}
 	d := &decoder{data: body, off: len(magic)}
 
@@ -275,7 +307,7 @@ func Decode(data []byte) (*Store, error) {
 		d.fail("trailing bytes")
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("footstore: %w", d.err)
+		return nil, d.err
 	}
 	for i, s := range snaps {
 		if err := b.AddSnapshot(s, footprints[i]); err != nil {
@@ -333,7 +365,7 @@ type decoder struct {
 
 func (d *decoder) fail(msg string) {
 	if d.err == nil {
-		d.err = fmt.Errorf("%s (offset %d)", msg, d.off)
+		d.err = &CorruptError{Offset: d.off, Reason: msg}
 	}
 }
 

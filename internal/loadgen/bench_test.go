@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"offnetscope/internal/astopo"
 	"offnetscope/internal/footstore"
@@ -105,7 +106,13 @@ func runServingBench(b *testing.B, v benchVariant) {
 	b.ResetTimer()
 	var last *Report
 	for i := 0; i < b.N; i++ {
-		srv := offnetserve.New(st, offnetserve.Config{Workers: 64, CacheSize: v.cacheSize})
+		// Production posture: per-request deadline and breaker armed, so
+		// the committed numbers carry their hot-path overhead.
+		srv := offnetserve.New(st, offnetserve.Config{
+			Workers:        64,
+			CacheSize:      v.cacheSize,
+			RequestTimeout: 30 * time.Second,
+		})
 		rep, err := Drive(context.Background(), plan, HandlerTarget{Handler: srv}, Options{Concurrency: 32})
 		if err != nil {
 			b.Fatal(err)

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"offnetscope/internal/obs"
@@ -70,10 +73,13 @@ type Options struct {
 	// nil metrics are dropped (obs nop handles).
 	Registry *obs.Registry
 
-	// OnResponse, when set, observes every response body after
+	// OnResponse, when set, observes every completed response after
 	// accounting — the hook e2e tests use to cross-check generation
-	// against content. Called from worker goroutines.
-	OnResponse func(req *Request, status int, body []byte)
+	// against content, and soak harnesses use (via the headers) to
+	// separate chaos-injected faults from genuine ones. Called from
+	// worker goroutines. Responses whose body read failed mid-stream
+	// are counted as transport errors and never reach the hook.
+	OnResponse func(req *Request, status int, header http.Header, body []byte)
 }
 
 // Report is the driver's deterministic-shape result. For an in-process
@@ -91,6 +97,13 @@ type Report struct {
 	Errors5xx int `json:"errors_5xx"`
 	Shed429   int `json:"shed_429"`
 	Transport int `json:"transport_errors"`
+
+	// TransportByClass splits Transport into failure classes — reset,
+	// timeout, eof (torn bodies included), refused, other — so a soak
+	// SLO can budget injected resets separately from, say, dial
+	// refusals that would mean the daemon died. Keys sort in the JSON
+	// encoding, so the report stays byte-deterministic.
+	TransportByClass map[string]int `json:"transport_by_class,omitempty"`
 
 	// Generations histograms the generation field of every 200-status
 	// body that carried one — how many responses each store generation
@@ -137,10 +150,11 @@ func Drive(ctx context.Context, plan *Plan, target Target, opts Options) (*Repor
 	transport := reg.Counter("loadgen.transport_errors")
 
 	var (
-		mu       sync.Mutex
-		byStatus = make(map[string]int)
-		gens     = make(map[string]int)
-		rep      = Report{
+		mu        sync.Mutex
+		byStatus  = make(map[string]int)
+		gens      = make(map[string]int)
+		transErrs = make(map[string]int)
+		rep       = Report{
 			Seed:      plan.Seed,
 			TraceHash: plan.Hash(),
 			Requests:  len(plan.Requests),
@@ -149,6 +163,15 @@ func Drive(ctx context.Context, plan *Plan, target Target, opts Options) (*Repor
 			ByStatus:  byStatus,
 		}
 	)
+	countTransport := func(err error) {
+		class := classifyTransport(err)
+		reg.Counter("loadgen.transport." + class).Inc()
+		transport.Inc()
+		mu.Lock()
+		rep.Transport++
+		transErrs[class]++
+		mu.Unlock()
+	}
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -183,14 +206,18 @@ func Drive(ctx context.Context, plan *Plan, target Target, opts Options) (*Repor
 				resp, err := target.Do(req)
 				sent.Inc()
 				if err != nil {
-					transport.Inc()
-					mu.Lock()
-					rep.Transport++
-					mu.Unlock()
+					countTransport(err)
 					continue
 				}
-				respBody, _ := io.ReadAll(resp.Body)
+				respBody, readErr := io.ReadAll(resp.Body)
 				resp.Body.Close()
+				if readErr != nil {
+					// A torn body is a transport failure, not a served
+					// response: the status line arrived but the answer
+					// did not, so none of the response accounting runs.
+					countTransport(readErr)
+					continue
+				}
 				lat.Since(issued)
 
 				mu.Lock()
@@ -208,7 +235,7 @@ func Drive(ctx context.Context, plan *Plan, target Target, opts Options) (*Repor
 				}
 				mu.Unlock()
 				if opts.OnResponse != nil {
-					opts.OnResponse(r, resp.StatusCode, respBody)
+					opts.OnResponse(r, resp.StatusCode, resp.Header, respBody)
 				}
 			}
 		}()
@@ -231,6 +258,9 @@ feed:
 	if len(gens) > 0 {
 		rep.Generations = gens
 	}
+	if len(transErrs) > 0 {
+		rep.TransportByClass = transErrs
+	}
 	rep.DurationNs = int64(elapsed)
 	done := len(plan.Requests) - rep.Transport
 	rep.QPS = float64(done) / elapsed.Seconds()
@@ -245,6 +275,28 @@ feed:
 		return &rep, fmt.Errorf("loadgen: run aborted: %w", err)
 	}
 	return &rep, nil
+}
+
+// classifyTransport buckets one transport failure. Sentinel checks run
+// before the net.Error timeout interface check so a wrapped
+// ECONNRESET that also happens to satisfy net.Error lands in "reset",
+// the more specific bucket.
+func classifyTransport(err error) string {
+	switch {
+	case errors.Is(err, syscall.ECONNRESET):
+		return "reset"
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "refused"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+		return "eof"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "other"
 }
 
 // scanGeneration pulls the top-level "generation" number out of a JSON

@@ -39,8 +39,18 @@ func (s *Server) handleBatch(v *view, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.batchItems.Add(int64(len(req.IPs)))
+	// All items share the request's deadline budget: a batch must not
+	// stretch one worker slot past RequestTimeout just because it has
+	// many items. The check is amortized over 64 items — one atomic
+	// load per check, invisible against the lookup cost.
+	ctx := r.Context()
 	results := make([]map[string]any, len(req.IPs))
 	for i, raw := range req.IPs {
+		if i&63 == 0 && ctx.Err() != nil {
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("batch deadline exceeded after %d of %d items", i, len(req.IPs)))
+			return
+		}
 		ip, err := netmodel.ParseIP(raw)
 		if err != nil {
 			results[i] = map[string]any{"ip": raw, "error": err.Error()}

@@ -1,0 +1,119 @@
+package offnetserve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// deadlineCtx is the per-request deadline context. It exists because
+// context.WithTimeout is too expensive for this hot path: it arms a
+// runtime timer, allocates its cancellation machinery, and tears both
+// down again on every request, whether or not anything ever waited on
+// the deadline — measurable as a double-digit qps loss on the cached
+// serving path. Here the deadline is just a timestamp: Deadline() and
+// Err() compare against the clock, and a real timer plus done channel
+// are materialized only when someone subscribes via Done() — which
+// happens exactly on the saturated-queue path, where a request is
+// already paying a multi-millisecond wait.
+//
+// release() is this type's cancel function: it stops the lazy timer,
+// closes the done channel, and marks the context canceled, exactly as
+// context.WithTimeout's CancelFunc would.
+type deadlineCtx struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu       sync.Mutex
+	done     chan struct{}
+	timer    *time.Timer
+	released bool
+}
+
+// newDeadlineCtx derives a deadline context from the request context.
+// A parent deadline earlier than ours wins, matching context semantics.
+func newDeadlineCtx(parent context.Context, timeout time.Duration) *deadlineCtx {
+	d := time.Now().Add(timeout)
+	if pd, ok := parent.Deadline(); ok && pd.Before(d) {
+		d = pd
+	}
+	return &deadlineCtx{parent: parent, deadline: d}
+}
+
+func (c *deadlineCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func (c *deadlineCtx) Value(key any) any { return c.parent.Value(key) }
+
+func (c *deadlineCtx) Err() error {
+	if err := c.parent.Err(); err != nil {
+		return err
+	}
+	if !time.Now().Before(c.deadline) {
+		return context.DeadlineExceeded
+	}
+	c.mu.Lock()
+	released := c.released
+	c.mu.Unlock()
+	if released {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Done materializes the wait machinery on first use: a timer firing at
+// the deadline, and a watcher on the parent's cancellation if it has
+// one. The watcher goroutine exits when either side closes, and
+// release() closes unconditionally, so its lifetime is bounded by the
+// request's.
+func (c *deadlineCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.released {
+			close(c.done)
+			return c.done
+		}
+		c.timer = time.AfterFunc(time.Until(c.deadline), c.expire)
+		if pd := c.parent.Done(); pd != nil {
+			done := c.done
+			go func() {
+				select {
+				case <-pd:
+					c.expire()
+				case <-done:
+				}
+			}()
+		}
+	}
+	return c.done
+}
+
+func (c *deadlineCtx) expire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+}
+
+func (c *deadlineCtx) closeLocked() {
+	if c.done != nil {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+}
+
+// release ends the context's life at the end of its request: the lazy
+// timer is stopped and any waiters are unblocked. Idempotent.
+func (c *deadlineCtx) release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.released = true
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.closeLocked()
+}

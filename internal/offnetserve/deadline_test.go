@@ -1,0 +1,187 @@
+package offnetserve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeadlineQueued504DistinctFromShed pins the status-code contract
+// for a saturated server: a request that dies waiting because its own
+// RequestTimeout expired is a 504 (http.timeouts), while one the
+// server gives up on after queueWait is a 429 shed (http.shed). The
+// two must never be conflated — a 429 tells the client to back off, a
+// 504 tells the operator the latency promise broke.
+func TestDeadlineQueued504DistinctFromShed(t *testing.T) {
+	// Deadline shorter than queue wait: the deadline wins → 504.
+	s := New(testStore(t), Config{Workers: 1, QueueWait: 5 * time.Second, RequestTimeout: 30 * time.Millisecond})
+	s.sem <- struct{}{} // saturate the pool
+	defer func() { <-s.sem }()
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("queued past deadline: code = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	snap := s.Registry().Snapshot()
+	if got := snap.Counter("http.timeouts"); got != 1 {
+		t.Errorf("http.timeouts = %d, want 1", got)
+	}
+	if got := snap.Counter("http.shed"); got != 0 {
+		t.Errorf("http.shed = %d, want 0 (deadline expiry is not a shed)", got)
+	}
+
+	// Queue wait shorter than deadline: the shed wins → 429.
+	s2 := New(testStore(t), Config{Workers: 1, QueueWait: 30 * time.Millisecond, RequestTimeout: 5 * time.Second})
+	s2.sem <- struct{}{}
+	defer func() { <-s2.sem }()
+
+	rec = httptest.NewRecorder()
+	s2.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queued past queueWait: code = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	snap = s2.Registry().Snapshot()
+	if got := snap.Counter("http.shed"); got != 1 {
+		t.Errorf("http.shed = %d, want 1", got)
+	}
+	if got := snap.Counter("http.timeouts"); got != 0 {
+		t.Errorf("http.timeouts = %d, want 0", got)
+	}
+}
+
+// TestDeadlineReachesHandler: the per-request context the handler sees
+// carries the configured deadline; with RequestTimeout zero it carries
+// none. This is the end-to-end plumbing the batch budget rides on.
+func TestDeadlineReachesHandler(t *testing.T) {
+	var deadline time.Time
+	var hasDeadline bool
+	probe := func(v *view, w http.ResponseWriter, r *http.Request) {
+		deadline, hasDeadline = r.Context().Deadline()
+		w.WriteHeader(http.StatusOK)
+	}
+
+	s := New(testStore(t), Config{RequestTimeout: 250 * time.Millisecond})
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	s.wrap("snapshots", false, probe)(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if !hasDeadline {
+		t.Fatal("handler context carries no deadline despite RequestTimeout")
+	}
+	if d := deadline.Sub(start); d <= 0 || d > time.Second {
+		t.Errorf("deadline %v from request start, want ~250ms", d)
+	}
+
+	s2 := New(testStore(t), Config{})
+	s2.wrap("snapshots", false, probe)(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if hasDeadline {
+		t.Error("handler context carries a deadline with RequestTimeout disabled")
+	}
+}
+
+// TestBatchDeadlineBudget: all items of a batch share one deadline; a
+// batch whose budget is exhausted answers 504 naming its progress
+// instead of holding the worker slot to the end.
+func TestBatchDeadlineBudget(t *testing.T) {
+	s := New(testStore(t), Config{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	body := strings.NewReader(`{"ips":["10.0.0.1","10.0.0.2","10.0.0.3"]}`)
+	req := httptest.NewRequest("POST", "/v1/batch", body).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleBatch(s.view.Load(), rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired batch: code = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "0 of 3") {
+		t.Errorf("504 body does not name batch progress: %s", rec.Body.String())
+	}
+}
+
+// TestBreakerOpensOnRepeatedPanics: consecutive server-side failures
+// trip the overload breaker; subsequent requests fail fast with 503 +
+// Retry-After without reaching the handler, and the breaker closes
+// again after its cooldown lets a healthy probe through.
+func TestBreakerOpensOnRepeatedPanics(t *testing.T) {
+	s := New(testStore(t), Config{BreakerFailures: 3, BreakerOpenFor: 25 * time.Millisecond})
+	boom := s.wrap("snapshots", false, func(v *view, w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		boom(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("panic %d: code = %d, want 500", i, rec.Code)
+		}
+	}
+
+	// Tripped: even a healthy endpoint fails fast now.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: code = %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("breaker-open response missing Retry-After")
+	}
+	if got := s.Registry().Snapshot().Counter("http.breaker_open"); got != 1 {
+		t.Errorf("http.breaker_open = %d, want 1", got)
+	}
+
+	// After the cooldown a healthy request closes it again.
+	time.Sleep(40 * time.Millisecond)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("probe after cooldown: code = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/ip/10.0.0.1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after recovery: code = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBreakerDisabled: BreakerFailures < 0 turns the breaker off; any
+// number of panics keeps answering 500, never 503.
+func TestBreakerDisabled(t *testing.T) {
+	s := New(testStore(t), Config{BreakerFailures: -1})
+	boom := s.wrap("snapshots", false, func(v *view, w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		boom(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("call %d: code = %d, want 500 (breaker disabled)", i, rec.Code)
+		}
+	}
+}
+
+// TestShedDoesNotTripBreaker: sheds are load control working, not
+// serving-path failure — a storm of 429s must leave the breaker
+// closed so recovery is instant once load drops.
+func TestShedDoesNotTripBreaker(t *testing.T) {
+	s := New(testStore(t), Config{Workers: 1, QueueWait: time.Millisecond, BreakerFailures: 3})
+	s.sem <- struct{}{}
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("shed %d: code = %d, want 429", i, rec.Code)
+		}
+	}
+	<-s.sem
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after load drop: code = %d, want 200 (sheds must not trip the breaker): %s",
+			rec.Code, rec.Body.String())
+	}
+}

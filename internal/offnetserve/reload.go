@@ -1,0 +1,107 @@
+package offnetserve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/netmodel"
+)
+
+// This file is the validated-reload half of the crash-only contract:
+// cmd/offnetd's SIGHUP path calls ReloadFile, which opens the candidate
+// store (footstore.Open already verifies magic, CRC, and structural
+// decode — a corrupt file surfaces as footstore.ErrCorrupt), runs
+// SmokeValidate against it, and only then commits the swap via Reload.
+// A candidate that fails at any step is dropped on the floor: the old
+// (store, generation) view keeps serving untouched, /readyz gains
+// "degraded": "reload-rejected", and reload.rejected counts the refusal.
+// SIGHUP with a bad file on disk must never take the daemon down or
+// serve a torn view — this is where that promise is kept.
+
+// DegradedReloadRejected is the /readyz "degraded" value after a
+// candidate store was refused by reload validation.
+const DegradedReloadRejected = "reload-rejected"
+
+// ErrValidation wraps every SmokeValidate failure so callers can
+// distinguish "candidate failed validation" from "file unreadable".
+var ErrValidation = errors.New("offnetserve: store validation failed")
+
+// SmokeValidate runs the pre-commit checks a candidate store must pass
+// before it may serve: structural invariants (non-empty, sorted
+// snapshot grid, footprints resolvable) plus a fixed set of smoke
+// queries exercising the exact lookup paths the handlers use. It is
+// deliberately cheap — linear in snapshots × hypergiants, no
+// per-prefix work beyond one probe — because it runs on the reload
+// path while the old generation is still serving.
+func SmokeValidate(st *footstore.Store) error {
+	if st == nil {
+		return fmt.Errorf("%w: nil store", ErrValidation)
+	}
+	stats := st.Stats()
+	if stats.Snapshots == 0 {
+		return fmt.Errorf("%w: empty store (no snapshots)", ErrValidation)
+	}
+
+	// Structure walk: the snapshot grid must be strictly increasing and
+	// on the study calendar, and Latest must be its last element —
+	// handleFootprint's default-snapshot path depends on both.
+	snaps := st.Snapshots()
+	for i, sn := range snaps {
+		if !sn.Valid() {
+			return fmt.Errorf("%w: snapshot %d outside the study grid", ErrValidation, int(sn))
+		}
+		if i > 0 && snaps[i-1] >= sn {
+			return fmt.Errorf("%w: snapshots out of order (%s then %s)",
+				ErrValidation, snaps[i-1].Label(), sn.Label())
+		}
+	}
+	if st.Latest() != snaps[len(snaps)-1] {
+		return fmt.Errorf("%w: Latest() disagrees with the snapshot list", ErrValidation)
+	}
+
+	// Smoke queries: every (hypergiant, snapshot) footprint the /v1
+	// surface can name must resolve without error, and the latest
+	// footprints must account for every hypergiant the store claims.
+	for _, id := range st.Hypergiants() {
+		for _, sn := range snaps {
+			if _, ok := st.Footprint(id, sn); !ok {
+				return fmt.Errorf("%w: footprint(%s, %s) unresolvable", ErrValidation, id, sn.Label())
+			}
+		}
+	}
+
+	// One probe through the IP lookup path: any answer is fine (the
+	// prefix table may legitimately be empty), it just must not panic
+	// and a mapped answer must carry origins.
+	if p, origins, ok := st.LookupIP(netmodel.MustParseIP("192.0.2.1")); ok {
+		if len(origins) == 0 {
+			return fmt.Errorf("%w: prefix %s maps to zero origins", ErrValidation, p)
+		}
+	}
+	return nil
+}
+
+// ReloadFile is the SIGHUP entry point: open the candidate at path,
+// validate it, and commit the swap only if both succeed. On any
+// failure the error reports why and the previous generation keeps
+// serving; the caller's only job is to log it. The validation duration
+// lands on reload.validate_ns either way — a slow validate on the
+// reload path is an operational smell worth graphing.
+func (s *Server) ReloadFile(path string) error {
+	start := time.Now()
+	st, err := footstore.Open(path)
+	if err == nil {
+		err = SmokeValidate(st)
+	}
+	s.reloadValidateNs.Since(start)
+	if err != nil {
+		s.reloadRejected.Inc()
+		reason := DegradedReloadRejected
+		s.degraded.Store(&reason)
+		return fmt.Errorf("reload rejected, generation %d keeps serving: %w", s.Generation(), err)
+	}
+	s.Reload(st)
+	return nil
+}

@@ -1,0 +1,152 @@
+package offnetserve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"offnetscope/internal/footstore"
+)
+
+// writeStoreFile encodes st (or raw bytes) to a file under dir.
+func writeStoreFile(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReloadFileCommitsValidStore: the happy path bumps the generation,
+// counts reload.accepted, and serves the new store's answers.
+func TestReloadFileCommitsValidStore(t *testing.T) {
+	s := New(testStore(t), Config{})
+	dir := t.TempDir()
+	path := writeStoreFile(t, dir, "next.fst", altStore(t).Encode())
+
+	if err := s.ReloadFile(path); err != nil {
+		t.Fatalf("ReloadFile(valid): %v", err)
+	}
+	if got := s.Generation(); got != 2 {
+		t.Fatalf("generation = %d, want 2", got)
+	}
+	snap := s.Registry().Snapshot()
+	if got := snap.Counter("reload.accepted"); got != 1 {
+		t.Errorf("reload.accepted = %d, want 1", got)
+	}
+	if got := snap.Counter("reload.rejected"); got != 0 {
+		t.Errorf("reload.rejected = %d, want 0", got)
+	}
+	if h := snap.Histograms["reload.validate_ns"]; h.Count != 1 {
+		t.Errorf("reload.validate_ns count = %d, want 1", h.Count)
+	}
+	// altStore has 3 Google ASes at 2021-04 where testStore has 2 — the
+	// served answer proves the swap committed.
+	resp := getJSON(t, s, "/v1/hg/google/footprint", 200)
+	if got := resp["count"].(float64); got != 3 {
+		t.Errorf("footprint count after reload = %v, want 3", got)
+	}
+}
+
+// TestReloadFileRejectsCorruptStore is the rollback contract: a corrupt
+// candidate is refused, the old generation keeps serving, /readyz goes
+// degraded, and a later good reload clears the degradation.
+func TestReloadFileRejectsCorruptStore(t *testing.T) {
+	s := New(testStore(t), Config{})
+	dir := t.TempDir()
+	good := altStore(t).Encode()
+
+	corrupt := [][]byte{
+		good[:len(good)/2],                  // truncated
+		append([]byte("XXXX"), good[4:]...), // bad magic
+		{},                                  // empty file
+	}
+	for i, data := range corrupt {
+		path := writeStoreFile(t, dir, "bad.fst", data)
+		err := s.ReloadFile(path)
+		if err == nil {
+			t.Fatalf("corrupt candidate %d accepted", i)
+		}
+		if !errors.Is(err, footstore.ErrCorrupt) {
+			t.Errorf("corrupt candidate %d: error not ErrCorrupt: %v", i, err)
+		}
+	}
+
+	// Rollback: still generation 1, still the old store's answers.
+	if got := s.Generation(); got != 1 {
+		t.Fatalf("generation after rejected reloads = %d, want 1", got)
+	}
+	resp := getJSON(t, s, "/v1/hg/google/footprint", 200)
+	if got := resp["count"].(float64); got != 2 {
+		t.Errorf("footprint count = %v, want 2 (old store must keep serving)", got)
+	}
+
+	snap := s.Registry().Snapshot()
+	if got := snap.Counter("reload.rejected"); got != int64(len(corrupt)) {
+		t.Errorf("reload.rejected = %d, want %d", got, len(corrupt))
+	}
+	if got := snap.Counter("reload.accepted"); got != 0 {
+		t.Errorf("reload.accepted = %d, want 0", got)
+	}
+
+	// Degraded until a good reload commits.
+	ready := getJSON(t, s, "/readyz", 200)
+	if got := ready["degraded"]; got != DegradedReloadRejected {
+		t.Errorf("readyz degraded = %v, want %q", got, DegradedReloadRejected)
+	}
+	if err := s.ReloadFile(writeStoreFile(t, dir, "good.fst", good)); err != nil {
+		t.Fatalf("good reload after rejections: %v", err)
+	}
+	ready = getJSON(t, s, "/readyz", 200)
+	if _, still := ready["degraded"]; still {
+		t.Errorf("degraded survived a committed reload: %v", ready)
+	}
+	if got := s.Generation(); got != 2 {
+		t.Errorf("generation = %d, want 2", got)
+	}
+}
+
+// TestReloadFileMissingFile: a missing path is rejected (counted) but
+// is NOT corruption.
+func TestReloadFileMissingFile(t *testing.T) {
+	s := New(testStore(t), Config{})
+	err := s.ReloadFile(filepath.Join(t.TempDir(), "nope.fst"))
+	if err == nil {
+		t.Fatal("missing candidate accepted")
+	}
+	if errors.Is(err, footstore.ErrCorrupt) {
+		t.Errorf("missing file misclassified as corrupt: %v", err)
+	}
+	if got := s.Registry().Snapshot().Counter("reload.rejected"); got != 1 {
+		t.Errorf("reload.rejected = %d, want 1", got)
+	}
+}
+
+// TestSmokeValidateRejectsEmptyStore: an empty (but structurally valid)
+// store must not pass validation — serving zero snapshots is an outage
+// with a 200 status code.
+func TestSmokeValidateRejectsEmptyStore(t *testing.T) {
+	st, err := footstore.NewBuilder().Build()
+	if err != nil {
+		// An empty build may itself error; either refusal is fine, but
+		// if Build succeeds SmokeValidate must be the backstop.
+		t.Skipf("builder refuses empty store at Build: %v", err)
+	}
+	if err := SmokeValidate(st); !errors.Is(err, ErrValidation) {
+		t.Fatalf("SmokeValidate(empty) = %v, want ErrValidation", err)
+	}
+	if err := SmokeValidate(nil); !errors.Is(err, ErrValidation) {
+		t.Fatalf("SmokeValidate(nil) = %v, want ErrValidation", err)
+	}
+}
+
+// TestSmokeValidateAcceptsGoodStore: both fixtures pass.
+func TestSmokeValidateAcceptsGoodStore(t *testing.T) {
+	for name, st := range map[string]*footstore.Store{"test": testStore(t), "alt": altStore(t)} {
+		if err := SmokeValidate(st); err != nil {
+			t.Errorf("SmokeValidate(%s store) = %v, want nil", name, err)
+		}
+	}
+}

@@ -19,7 +19,9 @@
 package offnetserve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -34,6 +36,7 @@ import (
 	"offnetscope/internal/hg"
 	"offnetscope/internal/netmodel"
 	"offnetscope/internal/obs"
+	"offnetscope/internal/resilience"
 	"offnetscope/internal/timeline"
 )
 
@@ -55,6 +58,22 @@ type Config struct {
 	QueueWait time.Duration // max queue time before a 429 shed (0: 1s)
 	CacheSize int           // query-cache capacity in entries (0: cache disabled)
 	MaxBatch  int           // max IPs per /v1/batch request (0: 1024)
+
+	// RequestTimeout is the end-to-end budget for one request: queueing
+	// for a worker AND handling share it, so it is a promise about total
+	// latency, not handler time. Expiry answers 504 — distinct from the
+	// 429 shed (load control working) and 503 (client gone / breaker
+	// open). Zero disables the deadline.
+	RequestTimeout time.Duration
+
+	// BreakerFailures is the consecutive server-side-failure count
+	// (panics, deadline expiries) that trips the overload breaker into
+	// failing fast with 503. Zero means 32; negative disables the
+	// breaker entirely.
+	BreakerFailures int
+	// BreakerOpenFor is how long a tripped breaker rejects before
+	// admitting a probe request. Zero means 1s.
+	BreakerOpenFor time.Duration
 }
 
 // DefaultMaxBatch caps /v1/batch when Config.MaxBatch is zero. A batch
@@ -73,10 +92,23 @@ type Server struct {
 	sem        chan struct{} // bounded worker pool: one token per in-flight request
 	queueWait  time.Duration // how long a request may queue for a worker before being shed
 	retryAfter string        // Retry-After seconds on a shed, derived from queueWait
+	timeout    time.Duration // end-to-end request deadline; 0 disables
 	lastReload atomic.Int64  // unix nanos of the last swap (or initial load)
 	cache      *cache        // nil when disabled
 	maxBatch   int
 	mux        *http.ServeMux
+
+	// breaker fails fast once the serving path itself keeps failing
+	// (panics, deadline overruns). Shedding is not failure — it is the
+	// load control working — so only server-side faults feed it.
+	breaker *resilience.Breaker
+
+	// degraded, when non-nil, names why the daemon is serving in a
+	// degraded mode (e.g. "reload-rejected" after a corrupt candidate
+	// store was refused). /readyz reports it; a committed reload clears
+	// it. The pointer swaps atomically so readers never see a torn
+	// string.
+	degraded atomic.Pointer[string]
 
 	// Metrics live in one obs registry (served whole at /debug/metrics)
 	// but the hot path only touches these pre-resolved handles — the
@@ -85,9 +117,19 @@ type Server struct {
 	reqCount               map[string]*obs.Counter   // per-endpoint requests
 	reqLatency             map[string]*obs.Histogram // per-endpoint latency, log2-ns buckets
 	panics, shed, rejected *obs.Counter
+	timeouts               *obs.Counter // 504s: requests that overran RequestTimeout
+	breakerOpen            *obs.Counter // 503s: requests refused by the open breaker
 	batchItems             *obs.Counter // total IPs resolved through /v1/batch
+	reloadAccepted         *obs.Counter // committed store swaps (validated or direct)
+	reloadRejected         *obs.Counter // candidate stores refused by validation
+	reloadValidateNs       *obs.Histogram
 	genGauge               *obs.Gauge
 }
+
+// errServeFailure is what the breaker sees when a request panicked or
+// overran its deadline: a server-side fault, as opposed to client
+// errors or sheds which say nothing about the serving path's health.
+var errServeFailure = errors.New("offnetserve: server-side failure")
 
 // storeHandler is a data endpoint: it receives the (store, generation)
 // view pinned for this request.
@@ -112,22 +154,47 @@ func New(st *footstore.Store, cfg Config) *Server {
 	}
 	reg := obs.NewRegistry("offnetd")
 	s := &Server{
-		sem:        make(chan struct{}, cfg.Workers),
-		queueWait:  cfg.QueueWait,
-		retryAfter: retryAfterSeconds(cfg.QueueWait),
-		maxBatch:   cfg.MaxBatch,
-		reg:        reg,
-		reqCount:   make(map[string]*obs.Counter, len(endpoints)),
-		reqLatency: make(map[string]*obs.Histogram, len(endpoints)),
-		panics:     reg.Counter("http.panics"),
-		shed:       reg.Counter("http.shed"),
-		rejected:   reg.Counter("http.rejected"),
-		batchItems: reg.Counter("http.batch_items"),
-		genGauge:   reg.Gauge("store.generation"),
+		sem:              make(chan struct{}, cfg.Workers),
+		queueWait:        cfg.QueueWait,
+		retryAfter:       retryAfterSeconds(cfg.QueueWait),
+		timeout:          cfg.RequestTimeout,
+		maxBatch:         cfg.MaxBatch,
+		reg:              reg,
+		reqCount:         make(map[string]*obs.Counter, len(endpoints)),
+		reqLatency:       make(map[string]*obs.Histogram, len(endpoints)),
+		panics:           reg.Counter("http.panics"),
+		shed:             reg.Counter("http.shed"),
+		rejected:         reg.Counter("http.rejected"),
+		timeouts:         reg.Counter("http.timeouts"),
+		breakerOpen:      reg.Counter("http.breaker_open"),
+		batchItems:       reg.Counter("http.batch_items"),
+		reloadAccepted:   reg.Counter("reload.accepted"),
+		reloadRejected:   reg.Counter("reload.rejected"),
+		reloadValidateNs: reg.Histogram("reload.validate_ns"),
+		genGauge:         reg.Gauge("store.generation"),
 	}
 	for _, name := range endpoints {
 		s.reqCount[name] = reg.Counter("http.requests." + name)
 		s.reqLatency[name] = reg.Histogram("http.latency_ns." + name)
+	}
+	if cfg.BreakerFailures >= 0 {
+		failures := cfg.BreakerFailures
+		if failures == 0 {
+			failures = 32
+		}
+		openFor := cfg.BreakerOpenFor
+		if openFor <= 0 {
+			openFor = time.Second
+		}
+		s.breaker = resilience.NewBreaker(resilience.BreakerPolicy{
+			ConsecutiveFailures: failures,
+			OpenFor:             openFor,
+			Metrics:             reg,
+			Name:                "serve",
+			// errServeFailure is already filtered to server-side faults,
+			// so any non-nil error recorded here counts.
+			Classify: func(err error) bool { return err != nil },
+		})
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newCache(cfg.CacheSize, reg)
@@ -188,6 +255,10 @@ func (s *Server) Reload(st *footstore.Store) {
 	s.genGauge.Set(int64(next.gen))
 	s.lastReload.Store(time.Now().UnixNano())
 	s.cache.flush(next.gen)
+	s.reloadAccepted.Inc()
+	// A committed swap supersedes any earlier rejection: the daemon is
+	// serving fresh, validated data again.
+	s.degraded.Store(nil)
 }
 
 // retryAfterSeconds renders the Retry-After hint for shed requests: a
@@ -202,20 +273,66 @@ func retryAfterSeconds(queueWait time.Duration) string {
 	return strconv.FormatInt(secs, 10)
 }
 
-// wrap applies panic recovery, the worker bound with queue-deadline
-// load shedding, the per-request view pin, the query cache (for
-// cacheable GET endpoints), and per-endpoint request counts and
-// latency. A batch occupies exactly one worker slot like any other
-// request — that is the amortization contract.
+// wrap applies panic recovery, the overload breaker, the per-request
+// deadline, the worker bound with queue-deadline load shedding, the
+// per-request view pin, the query cache (for cacheable GET endpoints),
+// and per-endpoint request counts and latency. A batch occupies
+// exactly one worker slot like any other request — that is the
+// amortization contract.
+//
+// The status-code contract, one code per failure mode:
+//
+//	429  shed: queued past queueWait while saturated (load control)
+//	503  client gave up while queued, or the breaker is open
+//	504  the request overran RequestTimeout (queue time included)
+//	500  the handler panicked
+//
+// Only the 500 and 504 paths feed the breaker as failures: sheds and
+// client cancellations say nothing about the serving path's health.
 func (s *Server) wrap(name string, cacheable bool, h storeHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// The breaker fails fast before any queueing: once the serving
+		// path itself keeps failing, queueing more work behind it only
+		// deepens the outage.
+		if s.breaker != nil {
+			if s.breaker.Allow() != nil {
+				s.breakerOpen.Inc()
+				w.Header().Set("Retry-After", s.retryAfter)
+				writeError(w, http.StatusServiceUnavailable, "circuit breaker open, retry later")
+				return
+			}
+		}
+		failed := false
+		if s.breaker != nil {
+			defer func() {
+				var err error
+				if failed {
+					err = errServeFailure
+				}
+				s.breaker.Record(err)
+			}()
+		}
 		// A bug in one handler must cost one 500, never the daemon.
 		defer func() {
 			if v := recover(); v != nil {
+				failed = true
 				s.panics.Inc()
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
+		// The deadline starts before queueing: RequestTimeout is a
+		// promise about total latency, so queue time spends the same
+		// budget the handler does.
+		ctx := r.Context()
+		if s.timeout > 0 {
+			// Not context.WithTimeout: the lazy deadlineCtx defers its
+			// timer and channel until someone actually waits on Done(),
+			// which keeps the uncontended path allocation-free.
+			dctx := newDeadlineCtx(ctx, s.timeout)
+			defer dctx.release()
+			ctx = dctx
+			r = r.WithContext(ctx)
+		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
@@ -232,20 +349,46 @@ func (s *Server) wrap(name string, cacheable bool, h storeHandler) http.HandlerF
 				w.Header().Set("Retry-After", s.retryAfter)
 				writeError(w, http.StatusTooManyRequests, "server overloaded, request shed")
 				return
-			case <-r.Context().Done():
+			case <-ctx.Done():
 				t.Stop()
-				s.rejected.Inc()
-				writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					failed = true
+					s.timeouts.Inc()
+					writeError(w, http.StatusGatewayTimeout, "request deadline exceeded while queued")
+				} else {
+					s.rejected.Inc()
+					writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
+				}
 				return
 			}
 		}
 		defer func() { <-s.sem }()
+		if s.timeout > 0 && ctx.Err() != nil {
+			// The budget ran out between queue admission and dispatch
+			// (an uncontended sem receive does not check the context).
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				failed = true
+				s.timeouts.Inc()
+				writeError(w, http.StatusGatewayTimeout, "request deadline exceeded before dispatch")
+			} else {
+				s.rejected.Inc()
+				writeError(w, http.StatusServiceUnavailable, "client gone before dispatch")
+			}
+			return
+		}
 		start := time.Now()
 		v := s.view.Load()
 		if cacheable && s.cache != nil {
 			s.serveCached(v, h, w, r)
 		} else {
 			h(v, w, r)
+		}
+		if s.timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The handler overran the budget mid-flight (the batch loop
+			// answers its own 504); either way the request blew its
+			// deadline — overload evidence the breaker must see.
+			failed = true
+			s.timeouts.Inc()
 		}
 		s.reqCount[name].Inc()
 		s.reqLatency[name].Since(start)
@@ -337,19 +480,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: a valid, non-empty store is loaded. It
-// stays true across hot reloads — the old store serves until the swap.
+// stays true across hot reloads — the old store serves until the swap —
+// and across rejected reloads, which only add a "degraded" note: the
+// old generation is still perfectly good data, but operators need to
+// see that a newer candidate was refused.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	v := s.view.Load()
 	if v.st == nil || v.st.Stats().Snapshots == 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ready":      true,
 		"snapshots":  v.st.Stats().Snapshots,
 		"latest":     v.st.Latest().Label(),
 		"generation": v.gen,
-	})
+	}
+	if d := s.degraded.Load(); d != nil {
+		resp["degraded"] = *d
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // hostingJSON is the wire form of one hypergiant presence run.

@@ -1,0 +1,121 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"offnetscope/internal/resilience"
+)
+
+// deadAddr returns a loopback address that refuses connections: bind a
+// port, learn it, close it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestProbeBreakerFailsFastOnDeadTarget: after BreakerFailures
+// exhausted probes against one address, further probes to it return
+// ErrBreakerOpen without dialing, and the breaker re-probes after its
+// cooldown (driven by a fake clock — no sleeps).
+func TestProbeBreakerFailsFastOnDeadTarget(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	s := New(Config{
+		Timeout:         200 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerOpenFor:  30 * time.Second,
+		BreakerNow:      clock,
+	})
+	defer s.Close()
+	addr := deadAddr(t)
+	ctx := context.Background()
+
+	// Two failed probes trip the target's breaker.
+	for i := 0; i < 2; i++ {
+		res := s.FetchCerts(ctx, []string{addr})[0]
+		if res.Err == nil {
+			t.Fatalf("probe %d of dead target succeeded", i)
+		}
+		if errors.Is(res.Err, resilience.ErrBreakerOpen) {
+			t.Fatalf("probe %d rejected before the trip threshold", i)
+		}
+	}
+
+	// Tripped: fail fast, no dial.
+	res := s.FetchCerts(ctx, []string{addr})[0]
+	if !errors.Is(res.Err, resilience.ErrBreakerOpen) {
+		t.Fatalf("post-trip probe err = %v, want ErrBreakerOpen", res.Err)
+	}
+
+	// The header path shares the same per-target breaker.
+	hres := s.FetchHeaders(ctx, []string{addr}, "", false)[0]
+	if !errors.Is(hres.Err, resilience.ErrBreakerOpen) {
+		t.Fatalf("header probe err = %v, want ErrBreakerOpen", hres.Err)
+	}
+
+	// Cooldown elapsed: the breaker admits a real probe again (which
+	// still fails with a dial error — but it was attempted).
+	advance(31 * time.Second)
+	res = s.FetchCerts(ctx, []string{addr})[0]
+	if res.Err == nil {
+		t.Fatal("dead target probe succeeded after cooldown")
+	}
+	if errors.Is(res.Err, resilience.ErrBreakerOpen) {
+		t.Fatal("breaker still rejecting after cooldown")
+	}
+}
+
+// TestProbeBreakerIsPerTarget: one dead host must not poison probes to
+// a healthy one — breakers are keyed by address.
+func TestProbeBreakerIsPerTarget(t *testing.T) {
+	farm := liveFarm(t)
+	s := New(Config{
+		Timeout:         2 * time.Second,
+		BreakerFailures: 1,
+		BreakerOpenFor:  time.Minute,
+	})
+	defer s.Close()
+	ctx := context.Background()
+	dead := deadAddr(t)
+	alive := farm.Servers[0].TLSAddr
+
+	// Trip the dead target.
+	s.FetchCerts(ctx, []string{dead})
+	res := s.FetchCerts(ctx, []string{dead, alive})
+	if !errors.Is(res[0].Err, resilience.ErrBreakerOpen) {
+		t.Fatalf("dead target err = %v, want ErrBreakerOpen", res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Fatalf("healthy target err = %v, want nil (breakers must be per-target)", res[1].Err)
+	}
+	if len(res[1].Chain) == 0 {
+		t.Fatal("healthy target returned no chain")
+	}
+}
+
+// TestProbeBreakerDisabledByDefault: the zero config never rejects.
+func TestProbeBreakerDisabledByDefault(t *testing.T) {
+	s := New(Config{Timeout: 100 * time.Millisecond})
+	defer s.Close()
+	addr := deadAddr(t)
+	for i := 0; i < 4; i++ {
+		res := s.FetchCerts(context.Background(), []string{addr})[0]
+		if errors.Is(res.Err, resilience.ErrBreakerOpen) {
+			t.Fatalf("probe %d rejected with breakers disabled", i)
+		}
+	}
+}

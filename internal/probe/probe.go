@@ -40,6 +40,20 @@ type Config struct {
 	// double it up to 10x, each sleep jittered uniformly below the
 	// ceiling. Zero means 100ms.
 	RetryBackoff time.Duration
+	// BreakerFailures, when > 0, arms a per-target circuit breaker:
+	// after that many consecutive exhausted probe attempts against one
+	// address, further probes to it fail fast with
+	// resilience.ErrBreakerOpen for BreakerOpenFor instead of burning a
+	// full dial-timeout × retry budget per touch on a dead host — on a
+	// four-day scan, dead hosts are the common case, not the exception.
+	// Zero disables breakers.
+	BreakerFailures int
+	// BreakerOpenFor is the fail-fast window per tripped target. Zero
+	// means 30s.
+	BreakerOpenFor time.Duration
+	// BreakerNow is the breaker clock hook, for deterministic tests.
+	// Nil means time.Now.
+	BreakerNow func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +66,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 100 * time.Millisecond
 	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 30 * time.Second
+	}
 	return c
 }
 
@@ -59,6 +76,13 @@ func (c Config) withDefaults() Config {
 type Scanner struct {
 	cfg     Config
 	limiter *rateLimiter
+
+	// breakers holds one circuit breaker per probed address, created
+	// lazily on first touch (nil map when disabled). One breaker per
+	// target, not one global: a dead host must not stop the scan of a
+	// healthy one.
+	bmu      sync.Mutex
+	breakers map[string]*resilience.Breaker
 }
 
 // New builds a scanner.
@@ -68,7 +92,43 @@ func New(cfg Config) *Scanner {
 	if cfg.RatePerSecond > 0 {
 		s.limiter = newRateLimiter(cfg.RatePerSecond)
 	}
+	if cfg.BreakerFailures > 0 {
+		s.breakers = make(map[string]*resilience.Breaker)
+	}
 	return s
+}
+
+// breakerFor returns the target's breaker, creating it on first use,
+// or nil when breakers are disabled.
+func (s *Scanner) breakerFor(addr string) *resilience.Breaker {
+	if s.breakers == nil {
+		return nil
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	b, ok := s.breakers[addr]
+	if !ok {
+		b = resilience.NewBreaker(resilience.BreakerPolicy{
+			ConsecutiveFailures: s.cfg.BreakerFailures,
+			OpenFor:             s.cfg.BreakerOpenFor,
+			Name:                "probe",
+			Now:                 s.cfg.BreakerNow,
+		})
+		s.breakers[addr] = b
+	}
+	return b
+}
+
+// withBreaker runs op under the target's breaker (or directly when
+// disabled). One op is one fully-retried probe: the breaker counts
+// exhausted retry budgets, not individual attempts, so BreakerFailures
+// means "this many probes in a row found the target dead".
+func (s *Scanner) withBreaker(addr string, op func() error) error {
+	b := s.breakerFor(addr)
+	if b == nil {
+		return op()
+	}
+	return b.Do(op)
 }
 
 // CertResult is one fetched default certificate.
@@ -114,16 +174,20 @@ func (s *Scanner) FetchCerts(ctx context.Context, addrs []string) []CertResult {
 // wasted retry.
 func (s *Scanner) fetchCertRetry(ctx context.Context, addr, serverName string) CertResult {
 	res := CertResult{Addr: addr}
-	err := resilience.Retry(ctx, resilience.Policy{
-		MaxAttempts: s.cfg.Retries + 1,
-		BaseDelay:   s.cfg.RetryBackoff,
-		MaxDelay:    10 * s.cfg.RetryBackoff,
-	}, func(ctx context.Context) error {
-		res = s.fetchCert(ctx, addr, serverName)
-		return res.Err
+	err := s.withBreaker(addr, func() error {
+		return resilience.Retry(ctx, resilience.Policy{
+			MaxAttempts: s.cfg.Retries + 1,
+			BaseDelay:   s.cfg.RetryBackoff,
+			MaxDelay:    10 * s.cfg.RetryBackoff,
+		}, func(ctx context.Context) error {
+			res = s.fetchCert(ctx, addr, serverName)
+			return res.Err
+		})
 	})
 	if err != nil && res.Err == nil {
-		res.Err = err // context died before the first attempt ran
+		// The breaker rejected without probing, or the context died
+		// before the first attempt ran.
+		res.Err = err
 	}
 	return res
 }
@@ -188,9 +252,22 @@ type HeaderResult struct {
 func (s *Scanner) FetchHeaders(ctx context.Context, addrs []string, host string, tlsMode bool) []HeaderResult {
 	results := make([]HeaderResult, len(addrs))
 	s.fanOut(ctx, len(addrs), func(i int) {
-		results[i] = s.fetchHeaders(ctx, addrs[i], host, tlsMode)
+		results[i] = s.fetchHeadersBreaker(ctx, addrs[i], host, tlsMode)
 	})
 	return results
+}
+
+// fetchHeadersBreaker runs one banner grab under the target's breaker.
+func (s *Scanner) fetchHeadersBreaker(ctx context.Context, addr, host string, tlsMode bool) HeaderResult {
+	res := HeaderResult{Addr: addr}
+	err := s.withBreaker(addr, func() error {
+		res = s.fetchHeaders(ctx, addr, host, tlsMode)
+		return res.Err
+	})
+	if err != nil && res.Err == nil {
+		res.Err = err // breaker rejected without probing
+	}
+	return res
 }
 
 func (s *Scanner) fetchHeaders(ctx context.Context, addr, host string, tlsMode bool) HeaderResult {

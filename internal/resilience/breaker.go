@@ -1,0 +1,325 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offnetscope/internal/obs"
+)
+
+// Breaker is the second half of the package's overload story. Retry
+// protects one operation against transient failure; the breaker protects
+// the *system* against an operation that keeps failing — a flaky probe
+// target, an overloaded serving path — by failing fast instead of
+// queueing more work behind a dependency that cannot absorb it.
+//
+// The state machine is the classic three states:
+//
+//	closed    all calls pass; failures are tallied. Trips to open on
+//	          ConsecutiveFailures in a row, or when the failure fraction
+//	          of the last Window outcomes exceeds ErrorRate.
+//	open      all calls are rejected with ErrBreakerOpen until OpenFor
+//	          has elapsed, then the breaker admits probes (half-open).
+//	half-open up to HalfOpenProbes calls are admitted concurrently. Any
+//	          failure reopens the breaker; HalfOpenProbes consecutive
+//	          successes close it and reset all tallies.
+//
+// Time is read through the Now hook, so tests advance a fake clock and
+// the whole machine is deterministic; the zero hook reads time.Now.
+// All methods are safe for concurrent use.
+
+// ErrBreakerOpen is returned by Allow/Do while the breaker is open.
+// DefaultClassify treats it as retryable (the breaker may close), but
+// callers that fan out should treat it as "back off now".
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState names the three states, for tests and gauges.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// BreakerPolicy tunes a Breaker. The zero value is usable: trip after 5
+// consecutive failures, no error-rate trip, stay open 5s, close after 1
+// half-open success.
+type BreakerPolicy struct {
+	// ConsecutiveFailures trips the breaker when that many failures are
+	// recorded in a row. Zero means 5; negative disables the
+	// consecutive-failure trip.
+	ConsecutiveFailures int
+	// ErrorRate, when > 0, trips the breaker when the failure fraction
+	// over the last Window outcomes strictly exceeds it (and at least
+	// Window outcomes have been observed since the last reset).
+	ErrorRate float64
+	// Window is the tally length for ErrorRate. Zero means 32.
+	Window int
+	// OpenFor is how long the breaker rejects before admitting probes.
+	// Zero means 5s.
+	OpenFor time.Duration
+	// HalfOpenProbes is both the concurrent-probe cap in half-open and
+	// the consecutive successes required to close. Zero means 1.
+	HalfOpenProbes int
+	// Classify reports whether an error counts as a failure. Nil treats
+	// every non-nil error except the caller's own context ending as a
+	// failure (DefaultClassify) — a cancelled caller says nothing about
+	// the dependency's health.
+	Classify func(error) bool
+	// Metrics, when set, receives breaker accounting under
+	// breaker.<name>.*: allowed, rejected, failures, opened, half_open,
+	// closed counters and a state gauge (0 closed, 1 half-open, 2 open).
+	Metrics *obs.Registry
+	// Name scopes the metric names; empty means "default".
+	Name string
+	// Now is the clock hook; nil means time.Now. Tests inject a fake
+	// clock to drive open→half-open transitions deterministically.
+	Now func() time.Time
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.ConsecutiveFailures == 0 {
+		p.ConsecutiveFailures = 5
+	}
+	if p.Window <= 0 {
+		p.Window = 32
+	}
+	if p.OpenFor <= 0 {
+		p.OpenFor = 5 * time.Second
+	}
+	if p.HalfOpenProbes <= 0 {
+		p.HalfOpenProbes = 1
+	}
+	if p.Classify == nil {
+		p.Classify = DefaultClassify
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	if p.Name == "" {
+		p.Name = "default"
+	}
+	return p
+}
+
+// Breaker is one circuit breaker. Create with NewBreaker.
+//
+// The closed state is the hot path — a breaker guarding a serving
+// path sees every request — so it is lock-free: Allow reads one
+// atomic, and a successful Record (with no error-rate window to
+// maintain) writes one. Everything rare (failures, trips, open and
+// half-open traffic) serializes on the mutex. The atomics mean a
+// request racing a trip may be admitted as a straggler; Record
+// already treats straggler outcomes as stale, so the state machine
+// stays exact where it matters and the deterministic (sequential)
+// tests see precisely the classic semantics.
+type Breaker struct {
+	p BreakerPolicy
+
+	allowed, rejected *obs.Counter
+	failures          *obs.Counter
+	opened, probed    *obs.Counter
+	closed            *obs.Counter
+	stateGauge        *obs.Gauge
+
+	fastState   atomic.Int32 // mirrors state for the lock-free closed path
+	consecFails atomic.Int64
+
+	mu           sync.Mutex
+	state        BreakerState
+	window       []bool // ring of outcomes, true = failure
+	windowNext   int
+	windowFilled int
+	openedAt     time.Time
+	probes       int // half-open: probes currently admitted
+	probeOK      int // half-open: consecutive probe successes
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(p BreakerPolicy) *Breaker {
+	p = p.withDefaults()
+	reg, name := p.Metrics, p.Name
+	b := &Breaker{
+		p:          p,
+		allowed:    reg.Counter("breaker." + name + ".allowed"),
+		rejected:   reg.Counter("breaker." + name + ".rejected"),
+		failures:   reg.Counter("breaker." + name + ".failures"),
+		opened:     reg.Counter("breaker." + name + ".opened"),
+		probed:     reg.Counter("breaker." + name + ".half_open"),
+		closed:     reg.Counter("breaker." + name + ".closed"),
+		stateGauge: reg.Gauge("breaker." + name + ".state"),
+		window:     make([]bool, p.Window),
+	}
+	return b
+}
+
+// State reports the current state (open flips to half-open lazily, on
+// the first Allow after the cooldown — State reflects that).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed. A nil return admits the
+// call and MUST be paired with exactly one Record of its outcome;
+// ErrBreakerOpen means fail fast without attempting the call.
+func (b *Breaker) Allow() error {
+	if BreakerState(b.fastState.Load()) == BreakerClosed {
+		b.allowed.Inc()
+		return nil
+	}
+	return b.allowSlow()
+}
+
+func (b *Breaker) allowSlow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.allowed.Inc()
+		return nil
+	case BreakerOpen:
+		if b.p.Now().Sub(b.openedAt) < b.p.OpenFor {
+			b.rejected.Inc()
+			return ErrBreakerOpen
+		}
+		b.setState(BreakerHalfOpen)
+		b.probed.Inc()
+		b.probes, b.probeOK = 0, 0
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probes >= b.p.HalfOpenProbes {
+			b.rejected.Inc()
+			return ErrBreakerOpen
+		}
+		b.probes++
+		b.allowed.Inc()
+		return nil
+	}
+	b.rejected.Inc()
+	return ErrBreakerOpen
+}
+
+// Record feeds the outcome of one admitted call back into the machine.
+func (b *Breaker) Record(err error) {
+	failed := b.p.Classify(err)
+	// Lock-free success path: closed state with no error-rate window
+	// means the only bookkeeping is clearing the consecutive tally.
+	if !failed && b.p.ErrorRate <= 0 &&
+		BreakerState(b.fastState.Load()) == BreakerClosed {
+		if b.consecFails.Load() != 0 {
+			b.consecFails.Store(0)
+		}
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		b.failures.Inc()
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probes == 0 {
+			return // straggler admitted before the trip; its outcome is stale
+		}
+		b.probes--
+		if failed {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.p.HalfOpenProbes {
+			b.reset()
+		}
+	case BreakerClosed:
+		if failed {
+			b.consecFails.Add(1)
+		} else {
+			b.consecFails.Store(0)
+		}
+		if b.p.ErrorRate > 0 {
+			b.window[b.windowNext] = failed
+			b.windowNext = (b.windowNext + 1) % len(b.window)
+			if b.windowFilled < len(b.window) {
+				b.windowFilled++
+			}
+		}
+		if b.tripLocked() {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; its outcome is stale.
+	}
+}
+
+// tripLocked evaluates the closed-state trip conditions.
+func (b *Breaker) tripLocked() bool {
+	if b.p.ConsecutiveFailures > 0 && b.consecFails.Load() >= int64(b.p.ConsecutiveFailures) {
+		return true
+	}
+	if b.p.ErrorRate > 0 && b.windowFilled == len(b.window) {
+		fails := 0
+		for _, f := range b.window {
+			if f {
+				fails++
+			}
+		}
+		if float64(fails)/float64(len(b.window)) > b.p.ErrorRate {
+			return true
+		}
+	}
+	return false
+}
+
+// trip moves to open and stamps the cooldown clock. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.setState(BreakerOpen)
+	b.openedAt = b.p.Now()
+	b.opened.Inc()
+}
+
+// reset returns to closed with clean tallies. Caller holds b.mu.
+func (b *Breaker) reset() {
+	b.setState(BreakerClosed)
+	b.closed.Inc()
+	b.consecFails.Store(0)
+	b.windowNext, b.windowFilled = 0, 0
+	for i := range b.window {
+		b.window[i] = false
+	}
+}
+
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	b.fastState.Store(int32(s))
+	b.stateGauge.Set(int64(s))
+}
+
+// Do is the convenience form: Allow, run op, Record. The op's error is
+// returned as-is; a rejected call returns ErrBreakerOpen without
+// running op.
+func (b *Breaker) Do(op func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	b.Record(err)
+	return err
+}
