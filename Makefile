@@ -1,15 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest soak-smoke soak experiments corpus serve clean
+.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest soak-smoke soak watch-smoke experiments corpus serve watch clean
 
 all: build vet test
 
 # The full pre-merge gate: build, vet, unit tests, the race detector,
 # a short fuzz pass over every decoder, the chaos/fault-injection
 # suite under race, the golden-regression suite, one-iteration
-# benchmark smoke, the serving-stack load smoke, and the short
-# crash-only soak.
-ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest soak-smoke
+# benchmark smoke, the serving-stack load smoke, the short crash-only
+# soak, and the kill-anytime continuous-measurement smoke.
+ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest soak-smoke watch-smoke
 
 build:
 	go build ./...
@@ -32,6 +32,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	go test -run=^$$ -fuzz=FuzzCorpusRead -fuzztime=$(FUZZTIME) ./internal/corpus
 	go test -run=^$$ -fuzz=FuzzFootstoreDecode -fuzztime=$(FUZZTIME) ./internal/footstore
+	go test -run=^$$ -fuzz=FuzzGenerationManifest -fuzztime=$(FUZZTIME) ./internal/footstore
 	go test -run=^$$ -fuzz=FuzzReadRIB -fuzztime=$(FUZZTIME) ./internal/bgpsim
 	go test -run=^$$ -fuzz=FuzzReadASRel -fuzztime=$(FUZZTIME) ./internal/astopo
 	go test -run=^$$ -fuzz=FuzzReadOrgs -fuzztime=$(FUZZTIME) ./internal/astopo
@@ -54,7 +55,10 @@ chaos-race:
 	go test -race -run 'TestRunStudyConfig' ./internal/core
 	go test -race -run 'TestHotReload|TestLoadShedding|TestPanicRecovery|TestHealth|TestRetryAfter|TestReloadGeneration|TestReloadFile|TestSmokeValidate|TestCache|TestBatch|TestConcurrentLoad|TestDeadline|TestBreaker|TestShed|TestGoroutineLeak' ./internal/offnetserve
 	go test -race -run 'TestProbeBreaker' ./internal/probe
-	go test -race -run 'TestSIGHUP|TestServerTimeout' ./cmd/offnetd
+	go test -race -run 'TestGenLog|TestNewBuilderFrom' ./internal/footstore
+	go test -race -run 'TestWave' ./internal/waves
+	go test -race -run 'TestWatchGenLog' ./internal/offnetserve
+	go test -race -run 'TestSIGHUP|TestServerTimeout|TestGenlogMode' ./cmd/offnetd
 	go test -race -run 'TestClassifyTransport|TestDriveClassifies' ./internal/loadgen
 
 # The golden-regression suite: exact funnel metrics, growth series,
@@ -104,6 +108,16 @@ soak-smoke:
 soak:
 	go run ./cmd/soak -requests 200000 -rate 4000 -reloads 40
 
+# Kill-anytime smoke for the continuous-measurement pipeline: the wave
+# daemon workload is SIGKILLed at seeded points until it completes,
+# then scored for zero recovery artifacts, byte-identical state versus
+# a never-killed run, and a forward-only served view. The daemon
+# envelope tests (flag wiring, farm waves, genlog serving) ride along.
+# Part of `make ci`.
+watch-smoke:
+	go test -count=1 -run 'TestSoakKill|TestKill|TestCompareGenLogs' ./cmd/soak
+	go test -count=1 ./cmd/offnetwatchd
+
 # Regenerate every table/figure/validation at the default scale and
 # refresh the committed results (plus CSV exports for plotting).
 experiments:
@@ -112,6 +126,13 @@ experiments:
 # Produce an on-disk corpus with the public-dataset stand-ins.
 corpus:
 	go run ./cmd/worldgen -out ./data -scale 0.05 -datasets
+
+# Continuous-measurement demo: the wave daemon scans its loopback farm
+# every 5s, committing each wave into ./data/genlog; run
+#   go run ./cmd/offnetd -genlog ./data/genlog
+# in another terminal to serve the live timeline.
+watch:
+	go run ./cmd/offnetwatchd -log ./data/genlog -farm -interval 5s -compact-keep 8
 
 # End-to-end serving demo: generate a small world, freeze its inferred
 # footprints into a store, and serve them on localhost:8097.

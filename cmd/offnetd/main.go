@@ -43,6 +43,17 @@
 // reports "degraded": "reload-rejected" until a good reload lands.
 // The daemon shuts down gracefully on SIGINT/SIGTERM.
 //
+// With -genlog DIR the daemon serves a live timeline instead of one
+// file: the initial store is the newest committed generation in the
+// generation log at DIR (written by cmd/offnetwatchd), and a watcher
+// polls the log's manifest every -watch-interval, funnelling each newly
+// committed generation through the same validated reload path. A
+// generation that fails to load or validate is skipped — /readyz goes
+// degraded with the corrupt file's path and offset until the next good
+// one lands. In this mode the watcher owns reloads, so SIGHUP is a
+// logged no-op; -store is only consulted as a bootstrap when the log is
+// still empty.
+//
 // The serving engine itself lives in internal/offnetserve, so the load
 // generator (cmd/loadgen) and the serving benchmarks can drive the
 // identical handler stack in-process.
@@ -58,6 +69,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -78,14 +90,16 @@ func main() {
 // daemonConfig is the parsed flag set — split out of run so tests can
 // pin the flag → server wiring without a socket.
 type daemonConfig struct {
-	storePath string
-	addr      string
-	workers   int
-	timeout   time.Duration
-	queueWait time.Duration
-	cacheSize int
-	maxBatch  int
-	pprofOn   bool
+	storePath     string
+	genlogDir     string
+	watchInterval time.Duration
+	addr          string
+	workers       int
+	timeout       time.Duration
+	queueWait     time.Duration
+	cacheSize     int
+	maxBatch      int
+	pprofOn       bool
 
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
@@ -99,7 +113,9 @@ type daemonConfig struct {
 func parseFlags(args []string) (*daemonConfig, error) {
 	cfg := &daemonConfig{}
 	fs := flag.NewFlagSet("offnetd", flag.ContinueOnError)
-	fs.StringVar(&cfg.storePath, "store", "", "footstore file written by offnetmap -store (required)")
+	fs.StringVar(&cfg.storePath, "store", "", "footstore file written by offnetmap -store (required unless -genlog; with -genlog: bootstrap for an empty log)")
+	fs.StringVar(&cfg.genlogDir, "genlog", "", "serve a live generation log (written by offnetwatchd) instead of one store file")
+	fs.DurationVar(&cfg.watchInterval, "watch-interval", 250*time.Millisecond, "generation-log manifest poll period (with -genlog)")
 	fs.StringVar(&cfg.addr, "addr", "localhost:8097", "listen address")
 	fs.IntVar(&cfg.workers, "workers", 256, "max concurrently served requests")
 	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "end-to-end per-request deadline, queueing included (504 on expiry; 0 disables)")
@@ -116,9 +132,9 @@ func parseFlags(args []string) (*daemonConfig, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if cfg.storePath == "" {
+	if cfg.storePath == "" && cfg.genlogDir == "" {
 		fs.Usage()
-		return nil, fmt.Errorf("-store is required")
+		return nil, fmt.Errorf("-store or -genlog is required")
 	}
 	return cfg, nil
 }
@@ -145,14 +161,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
-	st, err := footstore.Open(cfg.storePath)
+	st, err := loadInitialStore(cfg, stdout)
 	if err != nil {
 		return err
 	}
 	if err := offnetserve.SmokeValidate(st); err != nil {
 		return fmt.Errorf("initial store failed validation: %w", err)
 	}
-	fmt.Fprintf(stdout, "loaded %s: %s\n", cfg.storePath, storeSummary(st))
 
 	s := offnetserve.New(st, offnetserve.Config{
 		Workers:         cfg.workers,
@@ -184,6 +199,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
 
+	// Generation-log mode: a watcher goroutine follows the log and owns
+	// every reload (offnetserve.Reload demands serialized callers, so
+	// SIGHUP must not race it — it degrades to a logged no-op below).
+	var outMu sync.Mutex
+	if cfg.genlogDir != "" {
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		go s.WatchGenLog(wctx, cfg.genlogDir, offnetserve.WatchConfig{
+			Interval: cfg.watchInterval,
+			OnReload: func(gen uint64, err error) {
+				outMu.Lock()
+				defer outMu.Unlock()
+				if err != nil {
+					fmt.Fprintf(stdout, "generation %d rejected, keeping current store: %v\n", gen, err)
+					return
+				}
+				fmt.Fprintf(stdout, "reloaded generation %d (serving generation %d): %s\n",
+					gen, s.Generation(), storeSummary(s.Store()))
+			},
+		})
+		fmt.Fprintf(stdout, "watching generation log %s (interval %s)\n", cfg.genlogDir, cfg.watchInterval)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	for {
@@ -191,6 +229,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		case err := <-errc:
 			return err
 		case <-hup:
+			if cfg.genlogDir != "" {
+				outMu.Lock()
+				fmt.Fprintln(stdout, "SIGHUP ignored: the generation-log watcher owns reloads")
+				outMu.Unlock()
+				continue
+			}
 			if err := s.ReloadFile(cfg.storePath); err != nil {
 				fmt.Fprintf(stdout, "reload failed, keeping current store: %v\n", err)
 				continue
@@ -203,6 +247,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return srv.Shutdown(shutCtx)
 		}
 	}
+}
+
+// loadInitialStore picks the store the daemon boots with: the newest
+// committed generation of -genlog when one exists, the -store file
+// otherwise. An empty log with no -store bootstrap is a startup error —
+// the daemon has nothing valid to serve, and /readyz must never be true
+// over an empty view.
+func loadInitialStore(cfg *daemonConfig, stdout io.Writer) (*footstore.Store, error) {
+	if cfg.genlogDir != "" {
+		base, next, err := footstore.PeekGenLog(cfg.genlogDir)
+		if err != nil {
+			return nil, fmt.Errorf("generation log %s: %w", cfg.genlogDir, err)
+		}
+		if next > base {
+			st, err := footstore.LoadGeneration(cfg.genlogDir, next-1)
+			if err != nil {
+				return nil, fmt.Errorf("generation log %s: %w", cfg.genlogDir, err)
+			}
+			fmt.Fprintf(stdout, "loaded generation %d from %s: %s\n", next-1, cfg.genlogDir, storeSummary(st))
+			return st, nil
+		}
+		if cfg.storePath == "" {
+			return nil, fmt.Errorf("generation log %s is empty and no -store bootstrap was given", cfg.genlogDir)
+		}
+		fmt.Fprintf(stdout, "generation log %s is empty, bootstrapping from %s\n", cfg.genlogDir, cfg.storePath)
+	}
+	st, err := footstore.Open(cfg.storePath)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "loaded %s: %s\n", cfg.storePath, storeSummary(st))
+	return st, nil
 }
 
 func storeSummary(st *footstore.Store) string {

@@ -381,3 +381,116 @@ func TestSIGHUPLoadgenNoStaleGeneration(t *testing.T) {
 	cancel()
 	<-done
 }
+
+// TestLoadInitialStore pins the -genlog boot decision: the newest
+// committed generation wins, an empty log falls back to the -store
+// bootstrap, and an empty log with no bootstrap is a startup error.
+func TestLoadInitialStore(t *testing.T) {
+	dir := t.TempDir()
+	glog, _, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+
+	// Empty log, no bootstrap: refuse to start.
+	if _, err := loadInitialStore(&daemonConfig{genlogDir: dir}, &out); err == nil {
+		t.Error("empty log with no -store accepted")
+	}
+
+	// Empty log, -store bootstrap: the file serves.
+	path := t.TempDir() + "/boot.fst"
+	if err := testStore(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := loadInitialStore(&daemonConfig{genlogDir: dir, storePath: path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Snapshots != 3 {
+		t.Errorf("bootstrap store snapshots = %d, want 3", st.Stats().Snapshots)
+	}
+
+	// Committed generations: the newest one wins over the bootstrap.
+	if _, err := glog.Append(testStore(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := glog.Append(altStore(t)); err != nil {
+		t.Fatal(err)
+	}
+	st, err = loadInitialStore(&daemonConfig{genlogDir: dir, storePath: path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Snapshots != 2 {
+		t.Errorf("genlog boot store snapshots = %d, want 2 (altStore from generation 2)", st.Stats().Snapshots)
+	}
+}
+
+// TestGenlogModeServesLiveTimeline is the daemon pair end to end from
+// the serving side: offnetd -genlog boots from the newest committed
+// generation, picks up a new commit without any signal, and treats
+// SIGHUP as a no-op (the watcher owns reloads).
+func TestGenlogModeServesLiveTimeline(t *testing.T) {
+	dir := t.TempDir()
+	glog, _, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := glog.Append(testStore(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-genlog", dir, "-addr", "127.0.0.1:0", "-watch-interval", "10ms"}, out)
+	}()
+	waitFor(t, out, "serving on")
+	m := regexp.MustCompile(`serving on (http://[^ ]+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no listen address in output:\n%s", out.String())
+	}
+	base := m[1]
+
+	googleCount := func() float64 {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/hg/google/footprint")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Count float64 `json:"count"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Count
+	}
+	if got := googleCount(); got != 2 {
+		t.Fatalf("initial footprint count = %v, want 2 (testStore)", got)
+	}
+
+	// A new committed generation is served with no signal involved.
+	if _, err := glog.Append(altStore(t)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, out, "reloaded generation 2")
+	if got := googleCount(); got != 3 {
+		t.Fatalf("footprint count after commit = %v, want 3 (altStore)", got)
+	}
+
+	// SIGHUP must not race the watcher: it is a logged no-op here.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, out, "SIGHUP ignored")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}

@@ -1,0 +1,315 @@
+// Command offnetwatchd is the continuous-measurement daemon: it runs
+// scheduled scan waves (internal/waves) against a fixed target list,
+// applies the paper's §4 off-net inference per target, and commits each
+// wave as a new generation in an append-only, crash-safe generation
+// log (footstore.GenLog). cmd/offnetd -genlog serves that log as a
+// live timeline; the two daemons share nothing but the directory.
+//
+// Usage:
+//
+//	offnetwatchd -log DIR (-targets FILE | -farm) [-waves N] [-interval 15s]
+//	             [-wave-timeout 2m] [-min-coverage 0.5] [-compact-keep 0]
+//	             [-checkpoint DIR] [-concurrency 16] [-rate 0] [-retries 2]
+//	             [-metrics]
+//
+// -targets names a file of "host:port ASN" lines (#-comments and blank
+// lines ignored) — the live analogue of a cert-corpus target list
+// already resolved through the IP-to-AS table. -farm instead starts a
+// miniature loopback Internet (internal/servefarm) and scans that: two
+// Google off-nets, one Akamai off-net, one background site, and one
+// impostor with a self-signed "Google" certificate, which is how the
+// whole daemon loop is demoed and smoke-tested without touching real
+// networks.
+//
+// Crash-only by construction, top to bottom:
+//
+//   - a wave is bounded by -wave-timeout; one that runs out of time or
+//     concludes fewer than -min-coverage of its targets still commits,
+//     with a "reduced-coverage" verdict;
+//   - mid-wave progress is checkpointed to -checkpoint (default
+//     DIR/waves-ck) after every probed batch, so a SIGKILL resumes the
+//     wave where it stopped instead of re-probing concluded targets;
+//   - a wave that concludes nothing at all fails without committing;
+//     the daemon logs it and retries next -interval;
+//   - the generation log's manifest rename is the only commit point:
+//     kill the daemon at any instant and the log reopens to exactly the
+//     committed generations, torn tails quarantined (cmd/soak -mode
+//     kill scores precisely this);
+//   - -compact-keep N bounds the log by dropping all but the newest N
+//     generations after each commit; compaction is itself kill-safe.
+//
+// The daemon exits 0 when -waves waves have committed, when the
+// timeline grid is full (31 snapshot slots), or on SIGINT/SIGTERM —
+// a shutdown mid-wave leaves the checkpoint behind for the next
+// incarnation. -metrics dumps the obs registry as JSON on exit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"crypto/x509"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
+	"offnetscope/internal/probe"
+	"offnetscope/internal/servefarm"
+	"offnetscope/internal/waves"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("offnetwatchd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type watchdConfig struct {
+	logDir      string
+	targetsPath string
+	farmMode    bool
+
+	interval    time.Duration
+	maxWaves    int
+	waveTimeout time.Duration
+	minCoverage float64
+	compactKeep int
+	checkpoint  string
+
+	concurrency int
+	rate        int
+	retries     int
+
+	dumpMetrics bool
+}
+
+func parseFlags(args []string) (*watchdConfig, error) {
+	cfg := &watchdConfig{}
+	fs := flag.NewFlagSet("offnetwatchd", flag.ContinueOnError)
+	fs.StringVar(&cfg.logDir, "log", "", "generation-log directory (required; created if missing)")
+	fs.StringVar(&cfg.targetsPath, "targets", "", "target list file: one \"host:port ASN\" per line")
+	fs.BoolVar(&cfg.farmMode, "farm", false, "scan a loopback demo farm instead of -targets")
+	fs.DurationVar(&cfg.interval, "interval", 15*time.Second, "pause between waves")
+	fs.IntVar(&cfg.maxWaves, "waves", 0, "stop after N committed waves (0: run until the grid is full or a signal)")
+	fs.DurationVar(&cfg.waveTimeout, "wave-timeout", 2*time.Minute, "deadline for one whole wave (expiry degrades the verdict, not the daemon)")
+	fs.Float64Var(&cfg.minCoverage, "min-coverage", 0.5, "concluded-target fraction below which a wave commits as reduced-coverage")
+	fs.IntVar(&cfg.compactKeep, "compact-keep", 0, "keep only the newest N generations after each commit (0: never compact)")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "mid-wave checkpoint directory (default: LOG/waves-ck)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 16, "probe worker-pool size")
+	fs.IntVar(&cfg.rate, "rate", 0, "probe launches per second (0: unlimited)")
+	fs.IntVar(&cfg.retries, "retries", 2, "probe retries with backoff+jitter per target")
+	fs.BoolVar(&cfg.dumpMetrics, "metrics", false, "dump the metrics registry as JSON on exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.logDir == "" {
+		fs.Usage()
+		return nil, fmt.Errorf("-log is required")
+	}
+	if cfg.farmMode == (cfg.targetsPath != "") {
+		fs.Usage()
+		return nil, fmt.Errorf("exactly one of -targets or -farm is required")
+	}
+	if cfg.checkpoint == "" {
+		cfg.checkpoint = filepath.Join(cfg.logDir, "waves-ck")
+	}
+	return cfg, nil
+}
+
+// parseTargets reads "host:port ASN" lines; blank lines and #-comments
+// are skipped.
+func parseTargets(path string) ([]waves.Target, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []waves.Target
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"host:port ASN\", got %q", path, line, text)
+		}
+		as, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil || as == 0 {
+			return nil, fmt.Errorf("%s:%d: bad ASN %q", path, line, fields[1])
+		}
+		out = append(out, waves.Target{Addr: fields[0], AS: astopo.ASN(as)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no targets", path)
+	}
+	return out, nil
+}
+
+// demoFarm starts the loopback Internet the -farm mode scans. Targets
+// get sequential private ASes from 64512, and each AS a /24 from the
+// benchmarking range, so the committed stores answer IP lookups too.
+func demoFarm() (*servefarm.Farm, []waves.Target, []waves.PrefixRow, error) {
+	gws := []hg.Header{{Name: "Server", Value: "gws"}}
+	ghost := []hg.Header{{Name: "Server", Value: "AkamaiGHost"}}
+	nginx := []hg.Header{{Name: "Server", Value: "nginx"}}
+	farm, err := servefarm.Start([]servefarm.Spec{
+		{Name: "google-offnet-1", Organization: "Google LLC",
+			DNSNames: []string{"*.googlevideo.com"}, Headers: gws},
+		{Name: "google-offnet-2", Organization: "Google LLC",
+			DNSNames: []string{"*.googlevideo.com", "*.youtube.com"}, Headers: gws},
+		{Name: "akamai-offnet", Organization: "Akamai Technologies, Inc.",
+			DNSNames: []string{"a248.e.akamai.net"}, Headers: ghost},
+		{Name: "background", Organization: "Acme Web Services",
+			DNSNames: []string{"www.acme.example"}, Headers: nginx},
+		{Name: "google-impostor", Organization: "Google LLC",
+			DNSNames: []string{"*.google.com"}, SelfSigned: true, Headers: nginx},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	targets := make([]waves.Target, len(farm.Servers))
+	prefixes := make([]waves.PrefixRow, len(farm.Servers))
+	for i, s := range farm.Servers {
+		as := astopo.ASN(64512 + i)
+		targets[i] = waves.Target{Addr: s.TLSAddr, AS: as}
+		prefixes[i] = waves.PrefixRow{
+			Prefix:  netmodel.MustParsePrefix(fmt.Sprintf("198.18.%d.0/24", i)),
+			Origins: []astopo.ASN{as},
+		}
+	}
+	return farm, targets, prefixes, nil
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	var (
+		targets  []waves.Target
+		prefixes []waves.PrefixRow
+		rootCAs  *x509.CertPool
+	)
+	if cfg.farmMode {
+		farm, t, p, err := demoFarm()
+		if err != nil {
+			return err
+		}
+		defer farm.Close()
+		targets, prefixes, rootCAs = t, p, farm.CA.Pool()
+		fmt.Fprintf(stdout, "farm mode: %d loopback servers\n", len(targets))
+	} else {
+		if targets, err = parseTargets(cfg.targetsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loaded %d targets from %s\n", len(targets), cfg.targetsPath)
+	}
+
+	glog, rec, err := footstore.OpenGenLog(cfg.logDir)
+	if err != nil {
+		return err
+	}
+	if n := len(rec.TornQuarantined) + len(rec.OrphanedRemoved) + rec.TempsRemoved; n > 0 {
+		fmt.Fprintf(stdout, "recovered log %s: %d committed, %d torn quarantined, %d orphans removed, %d temps removed\n",
+			cfg.logDir, rec.Committed, len(rec.TornQuarantined), len(rec.OrphanedRemoved), rec.TempsRemoved)
+	} else {
+		fmt.Fprintf(stdout, "opened log %s: %d committed generations\n", cfg.logDir, rec.Committed)
+	}
+	reg := obs.NewRegistry("offnetwatchd")
+	glog.SetMetrics(reg)
+
+	runner, err := waves.NewRunner(glog, targets, waves.Config{
+		Probe: probe.Config{
+			Concurrency:   cfg.concurrency,
+			RatePerSecond: cfg.rate,
+			Retries:       cfg.retries,
+			RootCAs:       rootCAs,
+		},
+		WaveTimeout:   cfg.waveTimeout,
+		MinCoverage:   cfg.minCoverage,
+		CheckpointDir: cfg.checkpoint,
+		Prefixes:      prefixes,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	if cfg.dumpMetrics {
+		defer func() {
+			reg.Snapshot().WriteJSON(stdout)
+			fmt.Fprintln(stdout)
+		}()
+	}
+
+	committed := 0
+	for cfg.maxWaves == 0 || committed < cfg.maxWaves {
+		snap := runner.NextSnapshot()
+		res, err := runner.RunWave(ctx)
+		switch {
+		case err == nil:
+			committed++
+			fmt.Fprintf(stdout, "wave %s committed as generation %d: verdict=%s concluded=%d/%d confirmed=%d resumed=%d elapsed=%s\n",
+				res.Snapshot.Label(), res.Generation, res.Verdict,
+				res.Concluded, res.Targets, res.Confirmed, res.Resumed, res.Elapsed.Round(time.Millisecond))
+			if cfg.compactKeep > 0 {
+				removed, err := glog.Compact(cfg.compactKeep)
+				if err != nil {
+					return fmt.Errorf("compacting log: %w", err)
+				}
+				if removed > 0 {
+					fmt.Fprintf(stdout, "compacted %d generations (window now [%d, %d])\n",
+						removed, glog.Base(), glog.Last())
+				}
+			}
+		case errors.Is(err, waves.ErrGridExhausted):
+			fmt.Fprintln(stdout, "timeline grid full: study window complete")
+			return nil
+		case errors.Is(err, waves.ErrWaveFailed):
+			fmt.Fprintf(stdout, "wave %s failed (no targets concluded), retrying next interval\n", snap.Label())
+		case ctx.Err() != nil:
+			// Shutdown mid-wave: the checkpoint stays behind for the next
+			// incarnation of the daemon.
+			fmt.Fprintln(stdout, "shutting down")
+			return nil
+		default:
+			return err
+		}
+		if cfg.maxWaves > 0 && committed >= cfg.maxWaves {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "shutting down")
+			return nil
+		case <-time.After(cfg.interval):
+		}
+	}
+	fmt.Fprintf(stdout, "done: %d waves committed, log window [%d, %d]\n", committed, glog.Base(), glog.Last())
+	return nil
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+)
+
+// The wave engine is tested in internal/waves; this file covers the
+// daemon envelope: flag parsing, the targets-file format, and the
+// run-waves-commit-generations loop end to end against the loopback
+// farm.
+
+func TestParseFlagsValidation(t *testing.T) {
+	for _, bad := range [][]string{
+		{},                                      // no -log
+		{"-log", "d"},                           // neither -targets nor -farm
+		{"-log", "d", "-targets", "f", "-farm"}, // both
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted", bad)
+		}
+	}
+	cfg, err := parseFlags([]string{"-log", "/tmp/gl", "-farm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join("/tmp/gl", "waves-ck"); cfg.checkpoint != want {
+		t.Errorf("default checkpoint = %q, want %q", cfg.checkpoint, want)
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "targets.txt")
+	body := "# demo list\n\n10.0.0.1:443 64512\n  10.0.0.2:443\t64513\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := parseTargets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Addr != "10.0.0.1:443" || ts[1].AS != 64513 {
+		t.Fatalf("parseTargets = %+v", ts)
+	}
+
+	for name, body := range map[string]string{
+		"empty":     "# only comments\n",
+		"malformed": "10.0.0.1:443\n",
+		"badASN":    "10.0.0.1:443 zero\n",
+		"zeroASN":   "10.0.0.1:443 0\n",
+	} {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseTargets(path); err == nil {
+			t.Errorf("%s targets file accepted", name)
+		}
+	}
+}
+
+// TestRunFarmWaves drives the whole daemon loop twice against one log
+// directory: the first run commits two generations, the second resumes
+// the timeline and adds a third — the continuity a restarted
+// continuous-measurement daemon owes its log.
+func TestRunFarmWaves(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-log", dir, "-farm", "-interval", "10ms", "-wave-timeout", "30s", "-retries", "1"}
+
+	var out strings.Builder
+	if err := run(context.Background(), append(args, "-waves", "2"), &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	glog, rec, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Committed != 2 || glog.Last() != 2 {
+		t.Fatalf("after first run: committed=%d last=%d, want 2 generations\n%s",
+			rec.Committed, glog.Last(), out.String())
+	}
+	st, err := glog.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Snapshots != 2 {
+		t.Errorf("generation 2 holds %d snapshots, want 2", st.Stats().Snapshots)
+	}
+	// The farm's two Google off-nets must be confirmed (ASes 64512 and
+	// 64513); the impostor (AS 64516) must not.
+	fp, ok := st.Footprint(hg.Google, st.Latest())
+	if !ok {
+		t.Fatal("google footprint missing from latest snapshot")
+	}
+	got := map[uint32]bool{}
+	for _, as := range fp {
+		got[uint32(as)] = true
+	}
+	if !got[64512] || !got[64513] || got[64516] {
+		t.Errorf("google footprint = %v, want {64512, 64513} without the impostor", fp)
+	}
+
+	// Restart: one more wave continues the timeline.
+	out.Reset()
+	if err := run(context.Background(), append(args, "-waves", "1"), &out); err != nil {
+		t.Fatalf("second run: %v\n%s", err, out.String())
+	}
+	glog, _, err = footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glog.Last() != 3 {
+		t.Fatalf("after restart: last generation = %d, want 3\n%s", glog.Last(), out.String())
+	}
+	st, err = glog.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Snapshots != 3 {
+		t.Errorf("generation 3 holds %d snapshots, want 3 (timeline must continue, not restart)",
+			st.Stats().Snapshots)
+	}
+}
+
+// TestRunCompacts: -compact-keep bounds the log after each commit.
+func TestRunCompacts(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-log", dir, "-farm", "-waves", "3", "-interval", "10ms",
+		"-wave-timeout", "30s", "-retries", "1", "-compact-keep", "1", "-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	glog, rec, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glog.Base() != 3 || glog.Last() != 3 || rec.Committed != 1 {
+		t.Fatalf("log window [%d, %d] with %d committed, want exactly generation 3\n%s",
+			glog.Base(), glog.Last(), rec.Committed, out.String())
+	}
+	if !strings.Contains(out.String(), "\"waves.committed\"") {
+		t.Errorf("-metrics dump missing waves counters:\n%s", out.String())
+	}
+}
+
+// TestRunShutdownMidLoop: cancellation between waves exits cleanly.
+func TestRunShutdownMidLoop(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	var out strings.Builder
+	err := run(ctx, []string{
+		"-log", dir, "-farm", "-interval", "1h", "-wave-timeout", "30s", "-retries", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run under cancellation: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown line:\n%s", out.String())
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary double as the kill-mode workload: the
+// harness re-execs os.Executable(), which under `go test` is this
+// binary, carrying its assignment in the helper env var.
+func TestMain(m *testing.M) {
+	maybeRunKillHelper()
+	os.Exit(m.Run())
+}
+
+// TestKillWorkloadDeterministic: two uninterrupted runs of the same
+// workload produce byte-identical logs — the precondition for scoring
+// a killed run against a clean baseline at all.
+func TestKillWorkloadDeterministic(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if err := killWorkload(a, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := killWorkload(b, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	same, why, err := compareGenLogs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatalf("clean runs differ: %s", why)
+	}
+	// Resumability without a crash: re-running against a finished log is
+	// a no-op that leaves the bytes untouched.
+	if err := killWorkload(a, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if same, why, _ = compareGenLogs(a, b); !same {
+		t.Fatalf("re-run changed a finished log: %s", why)
+	}
+}
+
+// TestSoakKill is the kill-anytime acceptance gate (`make watch-smoke`):
+// SIGKILL the measurement daemon at seeded points until the workload
+// completes, then require zero recovery artifacts on the final open,
+// byte-identical state versus a never-killed run, and a forward-only
+// view from the observation server.
+func TestSoakKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills subprocesses")
+	}
+	cfg, err := parseFlags([]string{"-mode", "kill", "-seed", "11", "-kill-waves", "4", "-kill-keep", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := soakKill(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("kill SLO violated: %v", rep.Violations)
+	}
+	if !rep.ByteIdentical {
+		t.Error("recovered log not byte-identical to the clean baseline")
+	}
+	if rep.KillsLanded == 0 {
+		t.Error("no SIGKILL landed; the run proved nothing")
+	}
+	if rep.CommittedBase != 3 || rep.CommittedCount != 2 {
+		t.Errorf("final window base=%d count=%d, want [3, 4]", rep.CommittedBase, rep.CommittedCount)
+	}
+	if rep.ObservedResponses == 0 {
+		t.Error("observation server never probed the served view")
+	}
+	t.Logf("kill soak: %d restarts, %d kills landed, %d torn quarantined, observed max generation %d",
+		rep.Restarts, rep.KillsLanded, rep.TornQuarantined, rep.ObservedMaxGeneration)
+}
+
+// TestKillReportFormatPinned freezes kill mode's JSON shape, same
+// contract as the reload report: consumers parse these exact keys.
+func TestKillReportFormatPinned(t *testing.T) {
+	rep := &KillReport{
+		Seed:          11,
+		Waves:         4,
+		ByteIdentical: true,
+		Violations:    []string{},
+		Pass:          true,
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"seed":11,"waves":4,` +
+		`"kills_requested":0,"kills_landed":0,"restarts":0,` +
+		`"committed_base":0,"committed_count":0,` +
+		`"byte_identical":true,"torn_quarantined":0,` +
+		`"observed_responses":0,"observed_max_generation":0,` +
+		`"violations":[],"pass":true}`
+	if string(b) != want {
+		t.Fatalf("kill report JSON shape changed:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestCompareGenLogsDetectsDivergence: the comparator must actually
+// catch a flipped byte, or byte_identical is a rubber stamp.
+func TestCompareGenLogsDetectsDivergence(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if err := killWorkload(a, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := killWorkload(b, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(b, "gen-00000002.seg")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	same, why, err := compareGenLogs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same || !strings.Contains(why, "gen-00000002.seg") {
+		t.Fatalf("divergence missed: same=%v why=%q", same, why)
+	}
+}

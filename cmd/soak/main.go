@@ -31,6 +31,15 @@
 //	     [-concurrency 8] [-reset-prob 0.02] [-truncate-prob 0.02]
 //	     [-inject-5xx-prob 0.02] [-latency-prob 0.05]
 //	     [-p99-budget 2s] [-out report.json]
+//	soak -mode kill [-seed 1] [-kill-waves 5] [-kill-keep 2]
+//	     [-kill-restarts 25] [-out report.json]
+//
+// -mode kill is the crash-anytime gate for the continuous-measurement
+// pipeline (kill.go): it SIGKILLs a child running the real wave daemon
+// workload at seeded random instants until the workload completes,
+// while an in-process observation server follows the generation log
+// the way offnetd -genlog does, and scores zero-torn-generation,
+// byte-identical-recovery, and forward-only-serving SLOs.
 package main
 
 import (
@@ -62,6 +71,7 @@ import (
 )
 
 func main() {
+	maybeRunKillHelper()
 	log.SetFlags(0)
 	log.SetPrefix("soak: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -73,6 +83,7 @@ func main() {
 
 // soakConfig is the parsed flag set.
 type soakConfig struct {
+	mode        string
 	seed        int64
 	requests    int
 	rate        float64
@@ -89,11 +100,16 @@ type soakConfig struct {
 	p99Budget      time.Duration
 	goroutineSlack int
 	outPath        string
+
+	killWaves    int
+	killKeep     int
+	killRestarts int
 }
 
 func parseFlags(args []string) (*soakConfig, error) {
 	cfg := &soakConfig{}
 	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	fs.StringVar(&cfg.mode, "mode", "reload", "soak mode: reload (SIGHUP chaos soak) or kill (SIGKILL the measurement daemon at seeded points)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "root seed: store, workload, and chaos streams all derive from it")
 	fs.IntVar(&cfg.requests, "requests", 5000, "loadgen requests to schedule")
 	fs.Float64Var(&cfg.rate, "rate", 1200, "open-loop arrival rate in req/s, so reloads land mid-traffic (0 = unpaced)")
@@ -108,11 +124,20 @@ func parseFlags(args []string) (*soakConfig, error) {
 	fs.DurationVar(&cfg.p99Budget, "p99-budget", 2*time.Second, "SLO: p99 latency bound (0 skips the check)")
 	fs.IntVar(&cfg.goroutineSlack, "goroutine-slack", 16, "SLO: allowed goroutine growth after shutdown")
 	fs.StringVar(&cfg.outPath, "out", "", "write the JSON report here (default stdout)")
+	fs.IntVar(&cfg.killWaves, "kill-waves", 5, "kill mode: generations the measurement daemon must commit")
+	fs.IntVar(&cfg.killKeep, "kill-keep", 2, "kill mode: generations retained by compaction after each commit")
+	fs.IntVar(&cfg.killRestarts, "kill-restarts", 25, "kill mode: max daemon launches before giving up")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	if cfg.mode != "reload" && cfg.mode != "kill" {
+		return nil, fmt.Errorf("-mode must be reload or kill")
+	}
 	if cfg.reloads < 0 {
 		return nil, fmt.Errorf("-reloads must be >= 0")
+	}
+	if cfg.killWaves < 1 || cfg.killKeep < 1 || cfg.killRestarts < 1 {
+		return nil, fmt.Errorf("-kill-waves, -kill-keep, and -kill-restarts must be >= 1")
 	}
 	return cfg, nil
 }
@@ -145,14 +170,19 @@ type Report struct {
 }
 
 // Timing holds everything wall-clock-dependent — stripped before any
-// determinism comparison.
+// determinism comparison. The reload-validate quantiles come from the
+// daemon's own reload.validate_ns histogram: how long each SIGHUP
+// candidate spent in open+validate before its verdict, the number an
+// operator graphs to catch validation creeping onto the serving path.
 type Timing struct {
-	DurationNs       int64             `json:"duration_ns"`
-	P50Ns            int64             `json:"p50_ns"`
-	P99Ns            int64             `json:"p99_ns"`
-	GoroutinesBefore int               `json:"goroutines_before"`
-	GoroutinesAfter  int               `json:"goroutines_after"`
-	ProxyFaults      chaos.FaultCounts `json:"proxy_faults"`
+	DurationNs          int64             `json:"duration_ns"`
+	P50Ns               int64             `json:"p50_ns"`
+	P99Ns               int64             `json:"p99_ns"`
+	ReloadValidateP50Ns int64             `json:"reload_validate_p50_ns"`
+	ReloadValidateP99Ns int64             `json:"reload_validate_p99_ns"`
+	GoroutinesBefore    int               `json:"goroutines_before"`
+	GoroutinesAfter     int               `json:"goroutines_after"`
+	ProxyFaults         chaos.FaultCounts `json:"proxy_faults"`
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -160,9 +190,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := soak(ctx, cfg, stderr)
-	if err != nil {
-		return err
+	var rep any
+	var violations []string
+	if cfg.mode == "kill" {
+		krep, err := soakKill(ctx, cfg, stderr)
+		if err != nil {
+			return err
+		}
+		if !krep.Pass {
+			violations = krep.Violations
+		}
+		rep = krep
+	} else {
+		srep, err := soak(ctx, cfg, stderr)
+		if err != nil {
+			return err
+		}
+		if !srep.Pass {
+			violations = srep.Violations
+		}
+		rep = srep
 	}
 	out := stdout
 	if cfg.outPath != "" {
@@ -178,8 +225,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := enc.Encode(rep); err != nil {
 		return err
 	}
-	if !rep.Pass {
-		return fmt.Errorf("SLO violated: %v", rep.Violations)
+	if violations != nil {
+		return fmt.Errorf("SLO violated: %v", violations)
 	}
 	return nil
 }
@@ -427,12 +474,14 @@ func soak(ctx context.Context, cfg *soakConfig, stderr io.Writer) (*Report, erro
 		TornResponses:    torn,
 		Violations:       []string{},
 		Timing: Timing{
-			DurationNs:       drep.DurationNs,
-			P50Ns:            drep.P50Ns,
-			P99Ns:            drep.P99Ns,
-			GoroutinesBefore: goroutinesBefore,
-			GoroutinesAfter:  goroutinesAfter,
-			ProxyFaults:      proxy.Counts(),
+			DurationNs:          drep.DurationNs,
+			P50Ns:               drep.P50Ns,
+			P99Ns:               drep.P99Ns,
+			ReloadValidateP50Ns: snap.Histograms["reload.validate_ns"].Quantile(0.50),
+			ReloadValidateP99Ns: snap.Histograms["reload.validate_ns"].Quantile(0.99),
+			GoroutinesBefore:    goroutinesBefore,
+			GoroutinesAfter:     goroutinesAfter,
+			ProxyFaults:         proxy.Counts(),
 		},
 	}
 	if rep.TransportByClass == nil {

@@ -63,6 +63,12 @@ func TestSoakSmoke(t *testing.T) {
 	if rep.Timing.DurationNs <= 0 {
 		t.Error("timing section missing a duration")
 	}
+	// Four reloads ran, so the validate histogram has observations and
+	// the quantiles must be populated (p50 <= p99, both nonzero).
+	if rep.Timing.ReloadValidateP50Ns <= 0 || rep.Timing.ReloadValidateP99Ns < rep.Timing.ReloadValidateP50Ns {
+		t.Errorf("reload-validate quantiles p50=%d p99=%d, want 0 < p50 <= p99",
+			rep.Timing.ReloadValidateP50Ns, rep.Timing.ReloadValidateP99Ns)
+	}
 }
 
 // TestSoakDeterministicModuloTiming: two runs with the same flags must
@@ -120,6 +126,7 @@ func TestReportFormatPinned(t *testing.T) {
 		`"stale_generations":0,"torn_responses":0,` +
 		`"violations":[],"pass":true,` +
 		`"timing":{"duration_ns":1000000000,"p50_ns":0,"p99_ns":0,` +
+		`"reload_validate_p50_ns":0,"reload_validate_p99_ns":0,` +
 		`"goroutines_before":0,"goroutines_after":0,` +
 		`"proxy_faults":{"latency_spikes":0,"resets":0,"injected_5xx":0,"truncated_bodies":0}}}`
 	if string(b) != want {

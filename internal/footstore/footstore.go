@@ -248,6 +248,34 @@ type Builder struct {
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder { return &Builder{} }
 
+// NewBuilderFrom reconstructs a builder holding st's exact contents, so
+// a restarted process can keep extending a store it only has the frozen
+// form of (the continuous-measurement daemon rebuilds its wave builder
+// from the newest committed generation this way). The roundtrip is
+// canonical: NewBuilderFrom(st).Build() encodes byte-identically to st.
+func NewBuilderFrom(st *Store) *Builder {
+	b := NewBuilder()
+	ids := st.Hypergiants()
+	for _, s := range st.Snapshots() {
+		fp := make(map[hg.ID][]astopo.ASN, len(ids))
+		for _, id := range ids {
+			if set, ok := st.Footprint(id, s); ok && len(set) > 0 {
+				fp[id] = set
+			}
+		}
+		if err := b.AddSnapshot(s, fp); err != nil {
+			// Unreachable: st's snapshots are strictly increasing and
+			// its IDs validated at build time.
+			panic(err)
+		}
+	}
+	st.WalkPrefixes(func(p netmodel.Prefix, origins []astopo.ASN) bool {
+		b.AddPrefix(p, origins)
+		return true
+	})
+	return b
+}
+
 // AddSnapshot records each hypergiant's off-net AS set at s. The sets
 // are copied; unsorted input is tolerated.
 func (b *Builder) AddSnapshot(s timeline.Snapshot, footprints map[hg.ID][]astopo.ASN) error {

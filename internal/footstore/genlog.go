@@ -1,0 +1,634 @@
+// Generation log: the crash-only durability layer under the
+// continuous-measurement daemon (cmd/offnetwatchd). Each committed scan
+// wave becomes one immutable generation — a CRC-trailed segment file
+// holding a full canonical store image — and a single manifest names
+// the committed window. The manifest rename is the only commit point:
+// a process SIGKILLed at any instant during an append or a compaction
+// restarts serving exactly the generations the manifest named, never a
+// torn one.
+//
+// On-disk layout (all files live directly in the log directory):
+//
+//	gen-00000042.seg        one generation (see segment format below)
+//	MANIFEST.glm            the committed window (see manifest format)
+//	gen-00000043.seg.torn   a quarantined torn tail, kept for forensics
+//	.tmp-*                  in-flight atomic writes, removed on open
+//
+// Segment format (version 1), CRC-32 IEEE little-endian trailer over
+// every preceding byte:
+//
+//	"offnetGS"      8-byte magic
+//	version         uvarint, currently 1
+//	generation      uvarint, must match the number in the filename
+//	payload length  uvarint
+//	payload         the canonical Store image (Encode), opaque here
+//	crc32           4 bytes little-endian
+//
+// Manifest format (version 1), same trailer discipline:
+//
+//	"offnetGM"      8-byte magic
+//	version         uvarint, currently 1
+//	base            uvarint, first retained generation (≥ 1)
+//	count           uvarint, number of retained generations
+//	per generation base+i, in order:
+//	  size          uvarint, exact byte size of the segment file
+//	  crc32         4 bytes little-endian, over the whole segment file
+//	crc32           4 bytes little-endian
+//
+// Write protocol. Append writes the segment file under its final name
+// (write, fsync, close), then commits by writing the manifest via
+// temp + rename + parent-dir fsync. A crash between the two leaves a
+// segment at generation ≥ next with no manifest entry: a torn tail,
+// quarantined (renamed to .torn) on the next open — never trusted,
+// never silently deleted. Compact raises base in the manifest FIRST,
+// then unlinks the dropped segments; a crash in between leaves orphans
+// below base, which open removes. Committed segments are immutable, so
+// read-only observers (PeekGenLog + LoadGeneration) are safe to run
+// concurrently with the writer without any locking across processes.
+package footstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"offnetscope/internal/obs"
+)
+
+const (
+	// GenLogVersion is the current segment + manifest format version.
+	GenLogVersion = 1
+
+	manifestName = "MANIFEST.glm"
+	tornSuffix   = ".torn"
+	tmpPrefix    = ".tmp-"
+)
+
+var (
+	segMagic      = []byte("offnetGS")
+	manifestMagic = []byte("offnetGM")
+)
+
+// segMeta is one manifest row: the exact size and whole-file checksum
+// of a committed segment.
+type segMeta struct {
+	size uint64
+	crc  uint32
+}
+
+// GenLog is the writer handle: a single process appends generations
+// and compacts the tail. Methods are safe for concurrent use within
+// the process; cross-process safety relies on there being exactly one
+// writer (the daemon) while readers use PeekGenLog/LoadGeneration.
+type GenLog struct {
+	dir string
+
+	mu   sync.Mutex
+	base uint64 // first retained generation, ≥ 1
+	segs []segMeta
+
+	metrics *obs.Registry
+}
+
+// GenRecovery reports what OpenGenLog found and repaired.
+type GenRecovery struct {
+	Committed       int      // generations named by the manifest, all verified
+	TornQuarantined []string // segments past the committed tail, renamed *.torn
+	OrphanedRemoved []string // segments below base (interrupted compaction), unlinked
+	TempsRemoved    int      // .tmp-* files swept
+}
+
+func segName(gen uint64) string { return fmt.Sprintf("gen-%08d.seg", gen) }
+
+// parseSegName extracts the generation number from a gen-NNNNNNNN.seg
+// filename; ok is false for anything else (including .torn quarantines).
+func parseSegName(name string) (uint64, bool) {
+	const pre, suf = "gen-", ".seg"
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	num := name[len(pre) : len(name)-len(suf)]
+	if num == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// OpenGenLog opens (creating if needed) the generation log in dir,
+// verifies every committed segment against the manifest, quarantines
+// torn tails, and removes compaction orphans and temp files. It is the
+// writer-side open: it mutates the directory to a clean state. A
+// corrupt manifest or a corrupt *committed* segment is not a crash
+// artifact — both fail with a *CorruptError rather than being repaired,
+// because committed data is supposed to be durable.
+func OpenGenLog(dir string) (*GenLog, *GenRecovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("genlog: %w", err)
+	}
+	l := &GenLog{dir: dir, base: 1}
+	rec := &GenRecovery{}
+
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh log (or a crash before the very first commit): any
+		// segments present are uncommitted by definition.
+	case err != nil:
+		return nil, nil, fmt.Errorf("genlog: %w", err)
+	default:
+		base, segs, derr := decodeManifest(raw)
+		if derr != nil {
+			var ce *CorruptError
+			if errors.As(derr, &ce) {
+				ce.Path = filepath.Join(dir, manifestName)
+			}
+			return nil, nil, derr
+		}
+		l.base, l.segs = base, segs
+	}
+
+	// Verify every committed segment byte-for-byte against its manifest
+	// row and its own internal framing.
+	for i, meta := range l.segs {
+		gen := l.base + uint64(i)
+		path := filepath.Join(dir, segName(gen))
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, &CorruptError{Path: path, Offset: 0, Reason: fmt.Sprintf("committed generation %d unreadable: %v", gen, rerr)}
+		}
+		if uint64(len(data)) != meta.size {
+			return nil, nil, &CorruptError{Path: path, Offset: len(data), Reason: fmt.Sprintf("committed generation %d: size %d, manifest says %d", gen, len(data), meta.size)}
+		}
+		if got := crc32.ChecksumIEEE(data); got != meta.crc {
+			return nil, nil, &CorruptError{Path: path, Offset: 0, Reason: fmt.Sprintf("committed generation %d: checksum mismatch against manifest", gen)}
+		}
+		if _, derr := decodeSegment(data, gen); derr != nil {
+			var ce *CorruptError
+			if errors.As(derr, &ce) {
+				ce.Path = path
+			}
+			return nil, nil, derr
+		}
+	}
+	rec.Committed = len(l.segs)
+
+	// Sweep the directory: temp files go, segments past the committed
+	// tail are quarantined, segments below base are compaction orphans.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("genlog: %w", err)
+	}
+	next := l.base + uint64(len(l.segs))
+	dirty := false
+	for _, e := range entries {
+		if e.IsDir() {
+			continue // e.g. a wave-checkpoint subdirectory
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, nil, fmt.Errorf("genlog: %w", err)
+			}
+			rec.TempsRemoved++
+			dirty = true
+			continue
+		}
+		gen, ok := parseSegName(name)
+		if !ok {
+			continue // manifest, quarantines, foreign files
+		}
+		switch {
+		case gen >= next:
+			// Torn tail: written (possibly partially) but never
+			// committed. Quarantine, don't trust, don't destroy.
+			dst := filepath.Join(dir, name+tornSuffix)
+			for n := 1; ; n++ {
+				if _, serr := os.Lstat(dst); errors.Is(serr, fs.ErrNotExist) {
+					break
+				}
+				dst = filepath.Join(dir, fmt.Sprintf("%s%s.%d", name, tornSuffix, n))
+			}
+			if err := os.Rename(filepath.Join(dir, name), dst); err != nil {
+				return nil, nil, fmt.Errorf("genlog: %w", err)
+			}
+			rec.TornQuarantined = append(rec.TornQuarantined, filepath.Base(dst))
+			dirty = true
+		case gen < l.base:
+			// Orphan from a compaction that committed its manifest but
+			// died before unlinking.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, nil, fmt.Errorf("genlog: %w", err)
+			}
+			rec.OrphanedRemoved = append(rec.OrphanedRemoved, name)
+			dirty = true
+		}
+	}
+	sort.Strings(rec.TornQuarantined)
+	sort.Strings(rec.OrphanedRemoved)
+	if dirty {
+		if err := syncDir(dir); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// A fresh directory gets its empty manifest immediately, so a
+	// concurrent PeekGenLog never has to special-case "no manifest yet"
+	// beyond fs.ErrNotExist.
+	if raw == nil {
+		if err := l.writeManifestLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return l, rec, nil
+}
+
+// SetMetrics attaches an obs registry; nil (the default) discards.
+func (l *GenLog) SetMetrics(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = reg
+	reg.Gauge("genlog.generations").Set(int64(len(l.segs)))
+}
+
+// Dir returns the log directory.
+func (l *GenLog) Dir() string { return l.dir }
+
+// Base returns the first retained generation number.
+func (l *GenLog) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Last returns the newest committed generation, or 0 if none.
+func (l *GenLog) Last() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return 0
+	}
+	return l.base + uint64(len(l.segs)) - 1
+}
+
+// Len returns the number of retained generations.
+func (l *GenLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Append commits st as the next generation and returns its number.
+func (l *GenLog) Append(st *Store) (uint64, error) {
+	return l.AppendEncoded(st.Encode())
+}
+
+// AppendEncoded commits an already-encoded payload as the next
+// generation. The payload is opaque to the log (the crash-equivalence
+// suite uses arbitrary deterministic bytes); callers that serve the log
+// validate payloads on the read side (Load / LoadGeneration).
+func (l *GenLog) AppendEncoded(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := time.Now()
+	gen := l.base + uint64(len(l.segs))
+
+	seg := encodeSegment(gen, payload)
+	path := filepath.Join(l.dir, segName(gen))
+	// The segment lands under its final name on purpose: until the
+	// manifest names it, it is a torn tail, and open quarantines it.
+	if err := writeDurable(path, seg); err != nil {
+		return 0, err
+	}
+	meta := segMeta{size: uint64(len(seg)), crc: crc32.ChecksumIEEE(seg)}
+
+	l.segs = append(l.segs, meta)
+	if err := l.writeManifestLocked(); err != nil {
+		// The manifest on disk still names the old window; rewind the
+		// in-memory view to match and leave the segment as a torn tail.
+		l.segs = l.segs[:len(l.segs)-1]
+		return 0, err
+	}
+
+	l.metrics.Counter("genlog.appends").Inc()
+	l.metrics.Counter("genlog.append_bytes").Add(int64(len(seg)))
+	l.metrics.Histogram("genlog.append_ns").Since(start)
+	l.metrics.Gauge("genlog.generations").Set(int64(len(l.segs)))
+	return gen, nil
+}
+
+// Compact drops all but the newest keep generations. The manifest with
+// the raised base commits first; only then are the dropped segments
+// unlinked, so a kill mid-compaction leaves removable orphans, never a
+// manifest pointing at missing data. Returns how many generations were
+// dropped.
+func (l *GenLog) Compact(keep int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if keep < 1 || len(l.segs) <= keep {
+		return 0, nil
+	}
+	drop := len(l.segs) - keep
+	oldBase := l.base
+	l.base += uint64(drop)
+	l.segs = append([]segMeta(nil), l.segs[drop:]...)
+	if err := l.writeManifestLocked(); err != nil {
+		l.base = oldBase
+		return 0, err
+	}
+	for i := 0; i < drop; i++ {
+		path := filepath.Join(l.dir, segName(oldBase+uint64(i)))
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return 0, fmt.Errorf("genlog: %w", err)
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		return 0, err
+	}
+	l.metrics.Counter("genlog.compactions").Inc()
+	l.metrics.Counter("genlog.compacted_segments").Add(int64(drop))
+	l.metrics.Gauge("genlog.generations").Set(int64(len(l.segs)))
+	return drop, nil
+}
+
+// Load decodes the store image committed as generation gen.
+func (l *GenLog) Load(gen uint64) (*Store, error) {
+	payload, err := l.LoadEncoded(gen)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Decode(payload)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = filepath.Join(l.dir, segName(gen))
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// LoadEncoded returns the raw payload committed as generation gen.
+func (l *GenLog) LoadEncoded(gen uint64) ([]byte, error) {
+	l.mu.Lock()
+	base, count := l.base, uint64(len(l.segs))
+	l.mu.Unlock()
+	if gen < base || gen >= base+count {
+		return nil, fmt.Errorf("genlog: generation %d not in committed window [%d, %d)", gen, base, base+count)
+	}
+	return readSegmentPayload(l.dir, gen)
+}
+
+// writeManifestLocked commits the current window; the caller holds mu.
+func (l *GenLog) writeManifestLocked() error {
+	return writeAtomicInDir(l.dir, manifestName, encodeManifest(l.base, l.segs))
+}
+
+// PeekGenLog reads the committed window without touching anything:
+// base is the first retained generation, next the one after the newest
+// committed (base == next means the log is empty). Safe to call while
+// a writer is appending — the manifest swaps atomically.
+func PeekGenLog(dir string) (base, next uint64, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, 0, fmt.Errorf("genlog: %w", err)
+	}
+	b, segs, derr := decodeManifest(raw)
+	if derr != nil {
+		var ce *CorruptError
+		if errors.As(derr, &ce) {
+			ce.Path = filepath.Join(dir, manifestName)
+		}
+		return 0, 0, derr
+	}
+	return b, b + uint64(len(segs)), nil
+}
+
+// LoadGeneration reads one committed generation without a writer
+// handle — the serving-side entry point (offnetserve's watcher feeds
+// it through the validated reload path). The segment's framing and
+// checksum are verified; the payload must be a valid store image.
+func LoadGeneration(dir string, gen uint64) (*Store, error) {
+	payload, err := readSegmentPayload(dir, gen)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Decode(payload)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = filepath.Join(dir, segName(gen))
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// readSegmentPayload reads and fully verifies one segment file.
+func readSegmentPayload(dir string, gen uint64) ([]byte, error) {
+	path := filepath.Join(dir, segName(gen))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("genlog: %w", err)
+	}
+	payload, derr := decodeSegment(data, gen)
+	if derr != nil {
+		var ce *CorruptError
+		if errors.As(derr, &ce) {
+			ce.Path = path
+		}
+		return nil, derr
+	}
+	return payload, nil
+}
+
+// encodeSegment frames a payload as generation gen.
+func encodeSegment(gen uint64, payload []byte) []byte {
+	buf := append([]byte(nil), segMagic...)
+	buf = binary.AppendUvarint(buf, GenLogVersion)
+	buf = binary.AppendUvarint(buf, gen)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeSegment verifies the framing and returns the payload. wantGen
+// must match the generation recorded in the header (a segment renamed
+// to the wrong slot is corruption, not a crash artifact).
+func decodeSegment(data []byte, wantGen uint64) ([]byte, error) {
+	if len(data) < len(segMagic)+4 || string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, &CorruptError{Offset: 0, Reason: "bad segment magic"}
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, &CorruptError{Offset: len(body), Reason: "segment checksum mismatch (corrupt or truncated)"}
+	}
+	d := &decoder{data: body, off: len(segMagic)}
+	if v := d.uvarint(); d.err == nil && v != GenLogVersion {
+		return nil, fmt.Errorf("genlog: unsupported segment version %d", v)
+	}
+	gen := d.uvarint()
+	if d.err == nil && gen != wantGen {
+		d.fail(fmt.Sprintf("segment header names generation %d, expected %d", gen, wantGen))
+	}
+	plen := d.uvarint()
+	if d.err == nil && plen != uint64(len(d.data)-d.off) {
+		d.fail("segment payload length mismatch")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d.data[d.off:], nil
+}
+
+// encodeManifest serializes the committed window.
+func encodeManifest(base uint64, segs []segMeta) []byte {
+	buf := append([]byte(nil), manifestMagic...)
+	buf = binary.AppendUvarint(buf, GenLogVersion)
+	buf = binary.AppendUvarint(buf, base)
+	buf = binary.AppendUvarint(buf, uint64(len(segs)))
+	for _, m := range segs {
+		buf = binary.AppendUvarint(buf, m.size)
+		buf = binary.LittleEndian.AppendUint32(buf, m.crc)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// minSegmentSize is the smallest legal segment file: magic + three
+// one-byte varints + empty payload + trailer. Manifest rows claiming
+// less are structurally corrupt.
+const minSegmentSize = 8 + 3 + 4
+
+// decodeManifest parses and validates a manifest. It never panics on
+// malformed bytes (see FuzzGenerationManifest).
+func decodeManifest(data []byte) (base uint64, segs []segMeta, err error) {
+	if len(data) < len(manifestMagic)+4 || string(data[:len(manifestMagic)]) != string(manifestMagic) {
+		return 0, nil, &CorruptError{Offset: 0, Reason: "bad manifest magic"}
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return 0, nil, &CorruptError{Offset: len(body), Reason: "manifest checksum mismatch (corrupt or truncated)"}
+	}
+	d := &decoder{data: body, off: len(manifestMagic)}
+	if v := d.uvarint(); d.err == nil && v != GenLogVersion {
+		return 0, nil, fmt.Errorf("genlog: unsupported manifest version %d", v)
+	}
+	base = d.uvarint()
+	if d.err == nil && base == 0 {
+		d.fail("manifest base must be ≥ 1")
+	}
+	count := d.count(0)
+	if d.err == nil && base+uint64(count) < base {
+		d.fail("manifest window overflows")
+	}
+	for i := 0; i < count && d.err == nil; i++ {
+		size := d.uvarint()
+		if d.err == nil && size < minSegmentSize {
+			d.fail("manifest row smaller than any legal segment")
+			break
+		}
+		if d.err == nil && d.off+4 > len(d.data) {
+			d.fail("truncated manifest row")
+			break
+		}
+		if d.err != nil {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(d.data[d.off:])
+		d.off += 4
+		segs = append(segs, segMeta{size: size, crc: crc})
+	}
+	if d.err == nil && d.off != len(d.data) {
+		d.fail("trailing bytes")
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return base, segs, nil
+}
+
+// writeDurable writes data under its final name and fsyncs both the
+// file and the directory. Used for segments, where "exists but not in
+// the manifest" is the designed torn-tail state.
+func writeDurable(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("genlog: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("genlog: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// writeAtomicInDir writes name into dir via temp + fsync + rename +
+// dir fsync — the same discipline as runstate's checkpoint writer. The
+// rename is the commit point.
+func writeAtomicInDir(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, tmpPrefix+name+"-")
+	if err != nil {
+		return fmt.Errorf("genlog: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("genlog: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		cleanup()
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		cleanup()
+		return fmt.Errorf("genlog: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("genlog: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("genlog: %w", err)
+	}
+	return nil
+}

@@ -24,6 +24,34 @@ import (
 // candidate store was refused by reload validation.
 const DegradedReloadRejected = "reload-rejected"
 
+// DegradedInfo is the typed record behind /readyz's "degraded_detail":
+// why the last reload was refused, and — when the candidate was
+// structurally corrupt — exactly where in which file the corruption
+// sits, lifted from footstore's CorruptError so an operator can go
+// straight from a failing health check to the broken bytes.
+type DegradedInfo struct {
+	Reason  string `json:"reason"`           // stable machine key, e.g. "reload-rejected"
+	Detail  string `json:"detail"`           // human-readable cause from the rejected reload
+	Corrupt bool   `json:"corrupt"`          // the candidate failed structural decode (footstore.ErrCorrupt)
+	Path    string `json:"path,omitempty"`   // corrupt file, when known
+	Offset  int    `json:"offset,omitempty"` // byte offset of the corruption, when known
+}
+
+// newDegradedInfo classifies one rejected-reload error. A typed
+// footstore corruption carries its file path and byte offset through;
+// everything else (validation failures, unreadable files) keeps just
+// the error text.
+func newDegradedInfo(err error) *DegradedInfo {
+	d := &DegradedInfo{Reason: DegradedReloadRejected, Detail: err.Error()}
+	var ce *footstore.CorruptError
+	if errors.As(err, &ce) {
+		d.Corrupt = true
+		d.Path = ce.Path
+		d.Offset = ce.Offset
+	}
+	return d
+}
+
 // ErrValidation wraps every SmokeValidate failure so callers can
 // distinguish "candidate failed validation" from "file unreadable".
 var ErrValidation = errors.New("offnetserve: store validation failed")
@@ -90,16 +118,32 @@ func SmokeValidate(st *footstore.Store) error {
 // lands on reload.validate_ns either way — a slow validate on the
 // reload path is an operational smell worth graphing.
 func (s *Server) ReloadFile(path string) error {
+	return s.reloadFrom(func() (*footstore.Store, error) { return footstore.Open(path) })
+}
+
+// ReloadGeneration is ReloadFile for a generation-log entry: open
+// generation gen from the log at dir, validate it, and commit the swap
+// only if both succeed. It shares ReloadFile's whole contract —
+// rejection keeps the old view serving, marks /readyz degraded (with
+// the corrupt file's path and offset when the entry is torn), and
+// counts on reload.rejected.
+func (s *Server) ReloadGeneration(dir string, gen uint64) error {
+	return s.reloadFrom(func() (*footstore.Store, error) { return footstore.LoadGeneration(dir, gen) })
+}
+
+// reloadFrom is the shared validated-reload spine: open a candidate,
+// smoke-validate it, and either commit the swap or record the typed
+// refusal. Callers must serialize reloads, same as Reload.
+func (s *Server) reloadFrom(open func() (*footstore.Store, error)) error {
 	start := time.Now()
-	st, err := footstore.Open(path)
+	st, err := open()
 	if err == nil {
 		err = SmokeValidate(st)
 	}
 	s.reloadValidateNs.Since(start)
 	if err != nil {
 		s.reloadRejected.Inc()
-		reason := DegradedReloadRejected
-		s.degraded.Store(&reason)
+		s.degraded.Store(newDegradedInfo(err))
 		return fmt.Errorf("reload rejected, generation %d keeps serving: %w", s.Generation(), err)
 	}
 	s.Reload(st)

@@ -103,12 +103,12 @@ type Server struct {
 	// load control working — so only server-side faults feed it.
 	breaker *resilience.Breaker
 
-	// degraded, when non-nil, names why the daemon is serving in a
-	// degraded mode (e.g. "reload-rejected" after a corrupt candidate
-	// store was refused). /readyz reports it; a committed reload clears
+	// degraded, when non-nil, describes why the daemon is serving in a
+	// degraded mode (e.g. after a corrupt candidate store was refused by
+	// reload validation). /readyz reports it; a committed reload clears
 	// it. The pointer swaps atomically so readers never see a torn
-	// string.
-	degraded atomic.Pointer[string]
+	// record.
+	degraded atomic.Pointer[DegradedInfo]
 
 	// Metrics live in one obs registry (served whole at /debug/metrics)
 	// but the hot path only touches these pre-resolved handles — the
@@ -497,7 +497,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"generation": v.gen,
 	}
 	if d := s.degraded.Load(); d != nil {
-		resp["degraded"] = *d
+		// "degraded" stays the bare reason string — the stable contract
+		// health checks key on — while "degraded_detail" carries the
+		// typed record (error text, and for corrupt candidates the file
+		// path and byte offset) operators need to act on the refusal.
+		resp["degraded"] = d.Reason
+		resp["degraded_detail"] = d
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,82 @@
+package offnetserve
+
+import (
+	"context"
+	"time"
+
+	"offnetscope/internal/footstore"
+)
+
+// WatchGenLog turns a Server into a live timeline view over a
+// generation log: it polls the log's manifest (one small read — no
+// directory scan, no segment I/O) and funnels every newly committed
+// generation through the validated reload path, in order. The daemon
+// writing the log (cmd/offnetwatchd) and the daemon serving it
+// (cmd/offnetd) share nothing but the directory; the manifest's atomic
+// rename is the only synchronization either side needs.
+//
+// The watcher is the Server's sole reload caller by contract (it calls
+// ReloadGeneration from its own goroutine, satisfying Reload's
+// "callers must serialize" rule), so a daemon running a watcher must
+// not also wire SIGHUP→ReloadFile.
+
+// WatchConfig tunes one WatchGenLog run. The zero value polls every
+// 250ms and reports nothing.
+type WatchConfig struct {
+	// Interval is the manifest poll period (0: 250ms). Polling reads
+	// only the manifest file, so sub-second intervals are cheap.
+	Interval time.Duration
+	// OnReload, when non-nil, observes every reload attempt: the
+	// generation tried and the verdict (nil on commit). Used for
+	// logging; errors are already fully handled — the watcher skips the
+	// bad generation and moves on.
+	OnReload func(gen uint64, err error)
+}
+
+// WatchGenLog follows the generation log at dir until ctx is
+// canceled, reloading each committed generation into s as it appears.
+// It runs in the calling goroutine (start it with `go`).
+//
+// Failure handling is skip-forward: a generation that fails to load or
+// validate is reported (OnReload, /readyz degraded, reload.rejected)
+// and then left behind — the watcher advances past it rather than
+// retrying a durably bad entry forever, and the next good generation
+// both supersedes it and clears the degraded mark. Compaction moving
+// the log's base past the watcher's cursor likewise just snaps the
+// cursor forward: only the newest generation matters to a server.
+func (s *Server) WatchGenLog(ctx context.Context, dir string, cfg WatchConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	var seen uint64 // newest log generation already attempted (0: none)
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		base, next, err := footstore.PeekGenLog(dir)
+		if err == nil && next > base {
+			last := next - 1
+			if seen < base-1 {
+				// Compaction (or a fresh watcher on an old log) left a
+				// gap; only the tail below `last` is still loadable.
+				seen = base - 1
+			}
+			for gen := seen + 1; gen <= last; gen++ {
+				if ctx.Err() != nil {
+					return
+				}
+				rerr := s.ReloadGeneration(dir, gen)
+				if cfg.OnReload != nil {
+					cfg.OnReload(gen, rerr)
+				}
+				// Advance even on failure: the entry is committed and
+				// immutable, so retrying cannot change the verdict.
+				seen = gen
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

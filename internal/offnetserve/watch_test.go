@@ -1,0 +1,224 @@
+package offnetserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"offnetscope/internal/footstore"
+)
+
+// reloadLog collects OnReload callbacks so tests can await and inspect
+// the watcher's verdicts without racing it.
+type reloadLog struct {
+	mu      sync.Mutex
+	entries []struct {
+		gen uint64
+		err error
+	}
+}
+
+func (l *reloadLog) add(gen uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, struct {
+		gen uint64
+		err error
+	}{gen, err})
+}
+
+// wait blocks until n reload attempts have been observed (or the test
+// deadline kills it).
+func (l *reloadLog) wait(t *testing.T, n int) []struct {
+	gen uint64
+	err error
+} {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l.mu.Lock()
+		got := len(l.entries)
+		out := append([]struct {
+			gen uint64
+			err error
+		}(nil), l.entries...)
+		l.mu.Unlock()
+		if got >= n {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher made %d reload attempts, want %d", got, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func openLog(t *testing.T, dir string) *footstore.GenLog {
+	t.Helper()
+	l, _, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestWatchGenLogFollowsCommits: generations appended to the log appear
+// in the server, in order, through the validated reload path.
+func TestWatchGenLogFollowsCommits(t *testing.T) {
+	dir := t.TempDir()
+	glog := openLog(t, dir)
+	if _, err := glog.Append(testStore(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(testStore(t), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rl reloadLog
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.WatchGenLog(ctx, dir, WatchConfig{Interval: 10 * time.Millisecond, OnReload: rl.add})
+	}()
+
+	got := rl.wait(t, 1)
+	if got[0].gen != 1 || got[0].err != nil {
+		t.Fatalf("first reload = gen %d err %v, want gen 1 committed", got[0].gen, got[0].err)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("server generation = %d, want 2 after one watched reload", s.Generation())
+	}
+
+	// A second committed generation is picked up and served: altStore
+	// has 3 Google ASes at 2021-04 where testStore has 2.
+	if _, err := glog.Append(altStore(t)); err != nil {
+		t.Fatal(err)
+	}
+	got = rl.wait(t, 2)
+	if got[1].gen != 2 || got[1].err != nil {
+		t.Fatalf("second reload = gen %d err %v, want gen 2 committed", got[1].gen, got[1].err)
+	}
+	resp := getJSON(t, s, "/v1/hg/google/footprint", 200)
+	if n := resp["count"].(float64); n != 3 {
+		t.Errorf("footprint count after watched reload = %v, want 3", n)
+	}
+	snap := s.Registry().Snapshot()
+	if n := snap.Counter("reload.accepted"); n != 2 {
+		t.Errorf("reload.accepted = %d, want 2", n)
+	}
+
+	cancel()
+	<-done
+}
+
+// TestWatchGenLogSkipsBadGeneration: a committed-but-unloadable
+// generation (an opaque payload appended via AppendEncoded) is reported
+// once with typed corruption detail in /readyz, then left behind — the
+// next good generation is served and clears the degradation.
+func TestWatchGenLogSkipsBadGeneration(t *testing.T) {
+	dir := t.TempDir()
+	glog := openLog(t, dir)
+	if _, err := glog.AppendEncoded([]byte("this is not a footstore")); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(testStore(t), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rl reloadLog
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.WatchGenLog(ctx, dir, WatchConfig{Interval: 10 * time.Millisecond, OnReload: rl.add})
+	}()
+
+	got := rl.wait(t, 1)
+	if got[0].gen != 1 || !errors.Is(got[0].err, footstore.ErrCorrupt) {
+		t.Fatalf("bad generation verdict = gen %d err %v, want gen 1 ErrCorrupt", got[0].gen, got[0].err)
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("server generation = %d, want 1 (bad generation must not commit)", s.Generation())
+	}
+
+	// Satellite: /readyz carries the typed corruption detail — reason,
+	// corrupt flag, and the segment file's path.
+	ready := getJSON(t, s, "/readyz", 200)
+	if gotReason := ready["degraded"]; gotReason != DegradedReloadRejected {
+		t.Fatalf("degraded = %v, want %q", gotReason, DegradedReloadRejected)
+	}
+	detail, ok := ready["degraded_detail"].(map[string]any)
+	if !ok {
+		t.Fatalf("degraded_detail missing or mistyped: %v", ready["degraded_detail"])
+	}
+	if detail["reason"] != DegradedReloadRejected {
+		t.Errorf("degraded_detail.reason = %v", detail["reason"])
+	}
+	if detail["corrupt"] != true {
+		t.Errorf("degraded_detail.corrupt = %v, want true", detail["corrupt"])
+	}
+	if p, _ := detail["path"].(string); p == "" {
+		t.Errorf("degraded_detail.path empty, want the corrupt segment's path (detail: %v)", detail)
+	}
+
+	// The watcher moved past the bad entry: the next good generation is
+	// served and clears the degradation.
+	if _, err := glog.Append(altStore(t)); err != nil {
+		t.Fatal(err)
+	}
+	got = rl.wait(t, 2)
+	if got[1].gen != 2 || got[1].err != nil {
+		t.Fatalf("reload after bad generation = gen %d err %v, want gen 2 committed", got[1].gen, got[1].err)
+	}
+	ready = getJSON(t, s, "/readyz", 200)
+	if d, still := ready["degraded"]; still {
+		t.Errorf("degraded survived the next committed generation: %v", d)
+	}
+	snap := s.Registry().Snapshot()
+	if n := snap.Counter("reload.rejected"); n != 1 {
+		t.Errorf("reload.rejected = %d, want 1 (bad generation must be tried exactly once)", n)
+	}
+
+	cancel()
+	<-done
+}
+
+// TestWatchGenLogSurvivesCompaction: the watcher's cursor snaps forward
+// when compaction raises the log's base past generations it never saw.
+func TestWatchGenLogSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	glog := openLog(t, dir)
+	stores := []*footstore.Store{testStore(t), altStore(t), testStore(t), altStore(t)}
+	for _, st := range stores {
+		if _, err := glog.Append(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep only the newest generation: base jumps 1 → 4.
+	if _, err := glog.Compact(1); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(testStore(t), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rl reloadLog
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.WatchGenLog(ctx, dir, WatchConfig{Interval: 10 * time.Millisecond, OnReload: rl.add})
+	}()
+
+	got := rl.wait(t, 1)
+	if got[0].gen != 4 || got[0].err != nil {
+		t.Fatalf("post-compaction reload = gen %d err %v, want gen 4 committed", got[0].gen, got[0].err)
+	}
+	resp := getJSON(t, s, "/v1/hg/google/footprint", 200)
+	if n := resp["count"].(float64); n != 3 {
+		t.Errorf("footprint count = %v, want 3 (generation 4 is altStore)", n)
+	}
+
+	cancel()
+	<-done
+}

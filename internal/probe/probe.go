@@ -10,12 +10,14 @@ import (
 	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"errors"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
 	"offnetscope/internal/hg"
+	"offnetscope/internal/obs"
 	"offnetscope/internal/resilience"
 )
 
@@ -54,6 +56,9 @@ type Config struct {
 	// BreakerNow is the breaker clock hook, for deterministic tests.
 	// Nil means time.Now.
 	BreakerNow func() time.Time
+	// Metrics receives probe accounting (probe.certs, probe.headers,
+	// probe.errors, probe.breaker_fastfail). Nil discards.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +194,13 @@ func (s *Scanner) fetchCertRetry(ctx context.Context, addr, serverName string) C
 		// before the first attempt ran.
 		res.Err = err
 	}
+	s.cfg.Metrics.Counter("probe.certs").Inc()
+	if res.Err != nil {
+		s.cfg.Metrics.Counter("probe.errors").Inc()
+		if errors.Is(res.Err, resilience.ErrBreakerOpen) {
+			s.cfg.Metrics.Counter("probe.breaker_fastfail").Inc()
+		}
+	}
 	return res
 }
 
@@ -266,6 +278,13 @@ func (s *Scanner) fetchHeadersBreaker(ctx context.Context, addr, host string, tl
 	})
 	if err != nil && res.Err == nil {
 		res.Err = err // breaker rejected without probing
+	}
+	s.cfg.Metrics.Counter("probe.headers").Inc()
+	if res.Err != nil {
+		s.cfg.Metrics.Counter("probe.errors").Inc()
+		if errors.Is(res.Err, resilience.ErrBreakerOpen) {
+			s.cfg.Metrics.Counter("probe.breaker_fastfail").Inc()
+		}
 	}
 	return res
 }

@@ -1,0 +1,98 @@
+package runstate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBlobRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"wave":"2021-04","done":3}`)
+	if err := SaveBlob(dir, "wave-2021-04", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := LoadBlob(dir, "wave-2021-04"); !bytes.Equal(got, payload) {
+		t.Fatalf("LoadBlob = %q, want %q", got, payload)
+	}
+	// Overwrite wins.
+	if err := SaveBlob(dir, "wave-2021-04", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := LoadBlob(dir, "wave-2021-04"); string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if err := RemoveBlob(dir, "wave-2021-04"); err != nil {
+		t.Fatal(err)
+	}
+	if got := LoadBlob(dir, "wave-2021-04"); got != nil {
+		t.Fatalf("after remove: %q", got)
+	}
+	// Removing twice is fine.
+	if err := RemoveBlob(dir, "wave-2021-04"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveBlob(dir, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	// An empty payload is distinguishable from a missing blob only by
+	// the file's presence; both load as zero-length/nil, which is what
+	// "recompute from scratch" wants.
+	if got := LoadBlob(dir, "empty"); len(got) != 0 {
+		t.Fatalf("empty blob = %q", got)
+	}
+}
+
+func TestBlobCorruptDiscardedAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveBlob(dir, "ck", []byte("precious progress")); err != nil {
+		t.Fatal(err)
+	}
+	path := blobPath(dir, "ck")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bitflip":   func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 0x10; return c },
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"garbage":   func([]byte) []byte { return []byte("not a blob") },
+	} {
+		if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := LoadBlob(dir, "ck"); got != nil {
+			t.Fatalf("%s blob loaded as %q", name, got)
+		}
+		if _, err := os.Lstat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s blob not removed after rejection", name)
+		}
+	}
+}
+
+func TestBlobNameFlattening(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveBlob(dir, "wave/2021 04:b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := LoadBlob(dir, "wave/2021 04:b"); string(got) != "x" {
+		t.Fatalf("flattened blob = %q", got)
+	}
+	// The hostile name must not have escaped the directory.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].IsDir() {
+		t.Fatalf("unexpected directory contents: %v", ents)
+	}
+	if filepath.Ext(ents[0].Name()) != blobSuffix {
+		t.Fatalf("blob filename %q", ents[0].Name())
+	}
+}

@@ -1,0 +1,92 @@
+package waves
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"offnetscope/internal/runstate"
+)
+
+// Mid-wave checkpoints ride on runstate's crash-safe blob store: one
+// JSON blob per wave, keyed by the snapshot label, rewritten after
+// every probed batch. The blob pins the snapshot slot and a hash of
+// the target list, so a checkpoint from a different wave — or from a
+// run against different targets — is ignored rather than mixed in.
+// Stale blobs (a crash after commit but before the clear) are harmless
+// for the same reason: the committed wave advanced the slot, so the
+// old blob's snapshot no longer matches.
+
+// ckFile is the blob payload.
+type ckFile struct {
+	Snapshot    int       `json:"snapshot"`
+	TargetsHash uint64    `json:"targets_hash"`
+	Outcomes    []outcome `json:"outcomes"`
+}
+
+func (r *Runner) ckName() string { return "wave-" + r.next.Label() }
+
+// targetsHash fingerprints the target list (addresses, ASes, order).
+func (r *Runner) targetsHash() uint64 {
+	h := fnv.New64a()
+	for _, t := range r.targets {
+		fmt.Fprintf(h, "%s\x00%d\n", t.Addr, uint32(t.AS))
+	}
+	return h.Sum64()
+}
+
+// loadCheckpoint restores the current wave's outcomes, or an empty map
+// when there is no usable checkpoint.
+func (r *Runner) loadCheckpoint() (map[string]outcome, int) {
+	out := make(map[string]outcome)
+	if r.cfg.CheckpointDir == "" {
+		return out, 0
+	}
+	raw := runstate.LoadBlob(r.cfg.CheckpointDir, r.ckName())
+	if raw == nil {
+		return out, 0
+	}
+	var ck ckFile
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return out, 0
+	}
+	if ck.Snapshot != int(r.next) || ck.TargetsHash != r.targetsHash() {
+		return out, 0
+	}
+	for _, o := range ck.Outcomes {
+		out[o.Addr] = o
+	}
+	return out, len(out)
+}
+
+// saveCheckpoint persists the wave's progress; outcomes are sorted by
+// address so the blob bytes are deterministic for a given state.
+func (r *Runner) saveCheckpoint(outcomes map[string]outcome) error {
+	if r.cfg.CheckpointDir == "" {
+		return nil
+	}
+	ck := ckFile{Snapshot: int(r.next), TargetsHash: r.targetsHash()}
+	for _, o := range outcomes {
+		ck.Outcomes = append(ck.Outcomes, o)
+	}
+	sort.Slice(ck.Outcomes, func(i, j int) bool { return ck.Outcomes[i].Addr < ck.Outcomes[j].Addr })
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("waves: %w", err)
+	}
+	if err := runstate.SaveBlob(r.cfg.CheckpointDir, r.ckName(), raw); err != nil {
+		return fmt.Errorf("waves: checkpointing wave %s: %w", r.next.Label(), err)
+	}
+	r.cfg.Metrics.Counter("waves.checkpoints").Inc()
+	return nil
+}
+
+// clearCheckpoint drops the wave's blob; best-effort — a stale blob is
+// ignored on the next load anyway.
+func (r *Runner) clearCheckpoint() {
+	if r.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = runstate.RemoveBlob(r.cfg.CheckpointDir, r.ckName())
+}

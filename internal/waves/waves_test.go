@@ -1,0 +1,413 @@
+package waves
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/footstore"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/netmodel"
+	"offnetscope/internal/obs"
+	"offnetscope/internal/probe"
+	"offnetscope/internal/runstate"
+	"offnetscope/internal/servefarm"
+	"offnetscope/internal/timeline"
+)
+
+// testFarm is a miniature Internet on loopback: two Google off-nets,
+// one Akamai off-net, one background site, and one impostor with a
+// self-signed "Google" certificate.
+func testFarm(t *testing.T) (*servefarm.Farm, []Target) {
+	t.Helper()
+	gws := []hg.Header{{Name: "Server", Value: "gws"}}
+	ghost := []hg.Header{{Name: "Server", Value: "AkamaiGHost"}}
+	nginx := []hg.Header{{Name: "Server", Value: "nginx"}}
+	farm, err := servefarm.Start([]servefarm.Spec{
+		{Name: "google-offnet-1", Organization: "Google LLC",
+			DNSNames: []string{"*.googlevideo.com"}, Headers: gws},
+		{Name: "google-offnet-2", Organization: "Google LLC",
+			DNSNames: []string{"*.googlevideo.com", "*.youtube.com"}, Headers: gws},
+		{Name: "akamai-offnet", Organization: "Akamai Technologies, Inc.",
+			DNSNames: []string{"a248.e.akamai.net"}, Headers: ghost},
+		{Name: "background", Organization: "Acme Web Services",
+			DNSNames: []string{"www.acme.example"}, Headers: nginx},
+		{Name: "google-impostor", Organization: "Google LLC",
+			DNSNames: []string{"*.google.com"}, SelfSigned: true, Headers: nginx},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(farm.Close)
+	targets := make([]Target, len(farm.Servers))
+	for i, s := range farm.Servers {
+		targets[i] = Target{Addr: s.TLSAddr, AS: astopo.ASN(64512 + i)}
+	}
+	return farm, targets
+}
+
+func testConfig(farm *servefarm.Farm) Config {
+	return Config{
+		Probe: probe.Config{
+			Concurrency: 8,
+			Timeout:     2 * time.Second,
+			RootCAs:     farm.CA.Pool(),
+		},
+		WaveTimeout: 30 * time.Second,
+		Prefixes: []PrefixRow{
+			{Prefix: netmodel.MustParsePrefix("198.18.0.0/24"), Origins: []astopo.ASN{64512}},
+		},
+	}
+}
+
+// deadAddr returns an address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestWaveCommitsGenerations(t *testing.T) {
+	farm, targets := testFarm(t)
+	log, _, err := footstore.OpenGenLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("waves-test")
+	cfg := testConfig(farm)
+	cfg.Metrics = reg
+
+	r, err := NewRunner(log, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NextSnapshot() != 0 {
+		t.Fatalf("fresh runner NextSnapshot = %s", r.NextSnapshot())
+	}
+
+	res, err := r.RunWave(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 1 || res.Snapshot != 0 {
+		t.Fatalf("first wave = generation %d snapshot %s", res.Generation, res.Snapshot)
+	}
+	if res.Verdict != VerdictFull {
+		t.Fatalf("verdict = %q (%+v)", res.Verdict, res)
+	}
+	if res.Concluded != len(targets) || res.Failed != 0 {
+		t.Fatalf("concluded %d failed %d of %d", res.Concluded, res.Failed, res.Targets)
+	}
+	// Two Google off-nets and one Akamai; the impostor (broken chain)
+	// and the background site must not confirm.
+	if res.Confirmed != 3 {
+		t.Fatalf("confirmed = %d, want 3", res.Confirmed)
+	}
+
+	st, err := log.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := st.Footprint(hg.Google, 0)
+	if !ok || len(g) != 2 || g[0] != 64512 || g[1] != 64513 {
+		t.Fatalf("Google footprint = %v, %t", g, ok)
+	}
+	a, ok := st.Footprint(hg.Akamai, 0)
+	if !ok || len(a) != 1 || a[0] != 64514 {
+		t.Fatalf("Akamai footprint = %v, %t", a, ok)
+	}
+	// The seeded prefix table made it into the committed store.
+	if _, origins, ok := st.LookupIP(netmodel.MustParseIP("198.18.0.9")); !ok || origins[0] != 64512 {
+		t.Fatalf("seeded prefix lookup = %v, %t", origins, ok)
+	}
+
+	// Second wave fills the next slot and keeps the first.
+	res2, err := r.RunWave(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Generation != 2 || res2.Snapshot != 1 {
+		t.Fatalf("second wave = generation %d snapshot %s", res2.Generation, res2.Snapshot)
+	}
+	st2, err := log.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Snapshots(); len(got) != 2 {
+		t.Fatalf("second generation holds %d snapshots", len(got))
+	}
+	if reg.Counter("waves.committed").Value() != 2 {
+		t.Fatalf("waves.committed = %d", reg.Counter("waves.committed").Value())
+	}
+	if reg.Gauge("waves.generation").Value() != 2 {
+		t.Fatalf("waves.generation = %d", reg.Gauge("waves.generation").Value())
+	}
+}
+
+func TestWaveRunnerResumesFromLog(t *testing.T) {
+	farm, targets := testFarm(t)
+	dir := t.TempDir()
+	log, _, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(log, targets, testConfig(farm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunWave(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// A fresh runner (daemon restart) continues the timeline.
+	log2, _, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(log2, targets, testConfig(farm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.NextSnapshot() != 1 {
+		t.Fatalf("restarted runner NextSnapshot = %s, want 1", r2.NextSnapshot())
+	}
+	res, err := r2.RunWave(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 2 || res.Snapshot != 1 {
+		t.Fatalf("post-restart wave = generation %d snapshot %s", res.Generation, res.Snapshot)
+	}
+	// The restarted store still carries wave 1's history.
+	st, err := log2.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Footprint(hg.Google, 0); !ok {
+		t.Fatal("restart lost the first wave's snapshot")
+	}
+}
+
+func TestWaveReducedCoverage(t *testing.T) {
+	farm, targets := testFarm(t)
+	// Outnumber the 5 live servers with 6 dead targets: coverage 5/11
+	// < 0.5 → the wave commits, degraded.
+	for i := 0; i < 6; i++ {
+		targets = append(targets, Target{Addr: deadAddr(t), AS: astopo.ASN(64600 + i)})
+	}
+	log, _, err := footstore.OpenGenLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("waves-reduced")
+	cfg := testConfig(farm)
+	cfg.Metrics = reg
+	cfg.Probe.Timeout = 500 * time.Millisecond
+
+	r, err := NewRunner(log, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.RunWave(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictReduced {
+		t.Fatalf("verdict = %q, want %q (%+v)", res.Verdict, VerdictReduced, res)
+	}
+	if res.Failed != 6 || res.Concluded != 5 {
+		t.Fatalf("failed %d concluded %d", res.Failed, res.Concluded)
+	}
+	if log.Last() != 1 {
+		t.Fatal("reduced-coverage wave did not commit")
+	}
+	if reg.Counter("waves.reduced").Value() != 1 {
+		t.Fatalf("waves.reduced = %d", reg.Counter("waves.reduced").Value())
+	}
+}
+
+func TestWaveFailsWhenNothingConcludes(t *testing.T) {
+	farm, _ := testFarm(t)
+	targets := []Target{
+		{Addr: deadAddr(t), AS: 64600},
+		{Addr: deadAddr(t), AS: 64601},
+	}
+	log, _, err := footstore.OpenGenLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(farm)
+	cfg.Probe.Timeout = 300 * time.Millisecond
+	cfg.CheckpointDir = t.TempDir()
+
+	r, err := NewRunner(log, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunWave(context.Background()); !errors.Is(err, ErrWaveFailed) {
+		t.Fatalf("RunWave = %v, want ErrWaveFailed", err)
+	}
+	if log.Len() != 0 {
+		t.Fatal("failed wave committed a generation")
+	}
+	// The checkpoint was cleared so a retry re-probes from scratch.
+	if raw := runstate.LoadBlob(cfg.CheckpointDir, r.ckName()); raw != nil {
+		t.Fatalf("failed wave left checkpoint %q", raw)
+	}
+}
+
+func TestWaveResumesMidWaveFromCheckpoint(t *testing.T) {
+	farm, targets := testFarm(t)
+	log, _, err := footstore.OpenGenLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(farm)
+	cfg.CheckpointDir = t.TempDir()
+	r, err := NewRunner(log, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Plant the checkpoint a killed predecessor would have left: the
+	// background target already "confirmed" as a Google off-net. If the
+	// wave trusts the checkpoint instead of re-probing, the impossible
+	// confirmation shows up in the committed footprint.
+	bg := targets[3]
+	ck := ckFile{
+		Snapshot:    0,
+		TargetsHash: r.targetsHash(),
+		Outcomes: []outcome{
+			{Addr: bg.Addr, AS: uint32(bg.AS), Concluded: true, HG: int(hg.Google)},
+		},
+	}
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runstate.SaveBlob(cfg.CheckpointDir, r.ckName(), raw); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.RunWave(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 1 {
+		t.Fatalf("resumed = %d, want 1", res.Resumed)
+	}
+	st, err := log.Load(res.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := st.Footprint(hg.Google, 0)
+	found := false
+	for _, as := range g {
+		if as == bg.AS {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checkpointed outcome ignored; Google footprint = %v", g)
+	}
+	// Commit cleared the wave's checkpoint.
+	if raw := runstate.LoadBlob(cfg.CheckpointDir, r.ckName()); raw != nil {
+		t.Fatal("stale checkpoint survived the commit")
+	}
+
+	// A checkpoint pinned to different targets must be ignored.
+	ck.TargetsHash++
+	ck.Snapshot = int(r.NextSnapshot())
+	raw, _ = json.Marshal(ck)
+	if err := runstate.SaveBlob(cfg.CheckpointDir, r.ckName(), raw); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.RunWave(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != 0 {
+		t.Fatalf("mismatched checkpoint resumed %d outcomes", res2.Resumed)
+	}
+}
+
+func TestWaveShutdownKeepsCheckpoint(t *testing.T) {
+	farm, targets := testFarm(t)
+	log, _, err := footstore.OpenGenLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(farm)
+	cfg.CheckpointDir = t.TempDir()
+	r, err := NewRunner(log, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ck := ckFile{Snapshot: 0, TargetsHash: r.targetsHash(), Outcomes: []outcome{
+		{Addr: targets[0].Addr, AS: uint32(targets[0].AS), Concluded: true, HG: int(hg.Google)},
+	}}
+	raw, _ := json.Marshal(ck)
+	if err := runstate.SaveBlob(cfg.CheckpointDir, r.ckName(), raw); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // daemon shutdown before the wave starts
+	if _, err := r.RunWave(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunWave under shutdown = %v", err)
+	}
+	if log.Len() != 0 {
+		t.Fatal("cancelled wave committed")
+	}
+	if raw := runstate.LoadBlob(cfg.CheckpointDir, r.ckName()); raw == nil {
+		t.Fatal("shutdown discarded the mid-wave checkpoint")
+	}
+}
+
+func TestWaveGridExhausted(t *testing.T) {
+	farm, targets := testFarm(t)
+	dir := t.TempDir()
+	log, _, err := footstore.OpenGenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit a generation whose newest snapshot is the last grid slot.
+	b := footstore.NewBuilder()
+	last := timeline.Snapshot(timeline.Count() - 1)
+	if err := b.AddSnapshot(last, map[hg.ID][]astopo.ASN{hg.Google: {64512}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(st); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewRunner(log, targets, testConfig(farm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunWave(context.Background()); !errors.Is(err, ErrGridExhausted) {
+		t.Fatalf("RunWave on a full grid = %v", err)
+	}
+}
