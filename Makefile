@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest soak-smoke soak watch-smoke experiments corpus serve watch clean
+.PHONY: all ci build vet test test-short race fuzz-smoke chaos-race golden bench bench-smoke bench-serve loadtest soak-smoke soak watch-smoke scenarios-smoke scenarios experiments corpus serve watch clean
 
 all: build vet test
 
@@ -8,8 +8,9 @@ all: build vet test
 # a short fuzz pass over every decoder, the chaos/fault-injection
 # suite under race, the golden-regression suite, one-iteration
 # benchmark smoke, the serving-stack load smoke, the short crash-only
-# soak, and the kill-anytime continuous-measurement smoke.
-ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest soak-smoke watch-smoke
+# soak, the kill-anytime continuous-measurement smoke, and the
+# scenario-matrix smoke grid.
+ci: build vet test-short race fuzz-smoke chaos-race golden bench-smoke loadtest soak-smoke watch-smoke scenarios-smoke
 
 build:
 	go build ./...
@@ -41,6 +42,7 @@ fuzz-smoke:
 	go test -run=^$$ -fuzz=FuzzMatchDomain -fuzztime=$(FUZZTIME) ./internal/hg
 	go test -run=^$$ -fuzz=FuzzFromLabel -fuzztime=$(FUZZTIME) ./internal/timeline
 	go test -run=^$$ -fuzz=FuzzMetricsSnapshot -fuzztime=$(FUZZTIME) ./internal/obs
+	go test -run=^$$ -fuzz=FuzzScenarioConfig -fuzztime=$(FUZZTIME) ./internal/scenarios
 
 # The fault-injection suite under the race detector: corrupted-corpus
 # ingestion, the kill/resume crash-equivalence suite, parallel-runner
@@ -117,6 +119,21 @@ soak:
 watch-smoke:
 	go test -count=1 -run 'TestSoakKill|TestKill|TestCompareGenLogs' ./cmd/soak
 	go test -count=1 ./cmd/offnetwatchd
+
+# Scenario-matrix smoke for CI: one representative adversarial cell
+# per family (IPv6-only, hide-and-seek, cert reuse, flash trajectory,
+# vendor outage) runs the full inference end to end and must land
+# inside its precision/recall/coverage gates; the golden scenario cell
+# and the workers-invariance pin ride along. Part of `make ci`.
+scenarios-smoke:
+	go test -count=1 -run 'TestSmokeGridPasses|TestMatrixDeterminism|TestGoldenCell' ./internal/scenarios
+
+# The full pre-release scenario matrix: all 32 adversarial cells, run
+# alongside `make soak` before cutting a release. Regenerates the
+# committed results/SCENARIOS.json and SCENARIOS.md; byte-identical at
+# any -workers/-jobs/-shards setting.
+scenarios:
+	go run ./cmd/scenarios -grid full -workers 2 -out results/SCENARIOS.json -md results/SCENARIOS.md
 
 # Regenerate every table/figure/validation at the default scale and
 # refresh the committed results (plus CSV exports for plotting).

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"testing"
+
+	"offnetscope/internal/astopo"
+	"offnetscope/internal/core"
+	"offnetscope/internal/hg"
+	"offnetscope/internal/timeline"
+)
+
+func asSet(ases ...astopo.ASN) map[astopo.ASN]struct{} {
+	out := make(map[astopo.ASN]struct{}, len(ases))
+	for _, as := range ases {
+		out[as] = struct{}{}
+	}
+	return out
+}
+
+func TestScoreSets(t *testing.T) {
+	cases := []struct {
+		name     string
+		truth    []astopo.ASN
+		inferred map[astopo.ASN]struct{}
+		want     HGScore
+	}{
+		{
+			name: "zero footprint",
+			want: HGScore{},
+		},
+		{
+			name:     "perfect match",
+			truth:    []astopo.ASN{1, 2, 3},
+			inferred: asSet(1, 2, 3),
+			want:     HGScore{Truth: 3, Inferred: 3, Both: 3, Recall: 100, Precision: 100},
+		},
+		{
+			name:     "partial overlap",
+			truth:    []astopo.ASN{1, 2, 3, 4},
+			inferred: asSet(3, 4, 5),
+			want:     HGScore{Truth: 4, Inferred: 3, Both: 2, Recall: 50, Precision: 100.0 * 2 / 3},
+		},
+		{
+			name:  "nothing inferred",
+			truth: []astopo.ASN{1, 2},
+			want:  HGScore{Truth: 2},
+		},
+		{
+			name:     "everything spurious",
+			inferred: asSet(7, 8),
+			want:     HGScore{Inferred: 2},
+		},
+	}
+	for _, c := range cases {
+		if got := ScoreSets(c.truth, c.inferred); got != c.want {
+			t.Errorf("%s: ScoreSets = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// fakeTruth is a static ground truth for scorer unit tests.
+type fakeTruth map[hg.ID][]astopo.ASN
+
+func (f fakeTruth) TrueOffNetASes(id hg.ID, _ timeline.Snapshot) []astopo.ASN { return f[id] }
+
+// fakeStudy builds a StudyResult whose final snapshot confirms the given
+// AS sets and whose coverage is the listed snapshots.
+func fakeStudy(covered []timeline.Snapshot, confirmed map[hg.ID][]astopo.ASN) *core.StudyResult {
+	n := timeline.Count()
+	sr := &core.StudyResult{Results: make([]*core.Result, n)}
+	for _, s := range covered {
+		r := &core.Result{PerHG: make(map[hg.ID]*core.HGResult, hg.Count)}
+		for _, h := range hg.All() {
+			r.PerHG[h.ID] = &core.HGResult{}
+		}
+		sr.Results[s] = r
+	}
+	last := covered[len(covered)-1]
+	for id, ases := range confirmed {
+		sr.Results[last].PerHG[id].ConfirmedASes = asSet(ases...)
+	}
+	return sr
+}
+
+func TestScoreStudyCoverageAndRows(t *testing.T) {
+	truth := fakeTruth{hg.Google: {1, 2, 3, 4}, hg.Akamai: {10}}
+	covered := []timeline.Snapshot{0, 1, 2, 5, 9}
+	sr := fakeStudy(covered, map[hg.ID][]astopo.ASN{hg.Google: {2, 3, 4, 5}})
+
+	sc := ScoreStudy(truth, sr)
+	if sc.Snapshot != 9 {
+		t.Fatalf("scored at %v, want last covered snapshot 9", sc.Snapshot)
+	}
+	if sc.Covered != len(covered) || sc.Total != timeline.Count() {
+		t.Errorf("coverage %d/%d, want %d/%d", sc.Covered, sc.Total, len(covered), timeline.Count())
+	}
+	wantCov := 100 * float64(len(covered)) / float64(timeline.Count())
+	if sc.Coverage != wantCov {
+		t.Errorf("coverage pct = %v, want %v", sc.Coverage, wantCov)
+	}
+	if len(sc.Rows) != 2 {
+		t.Fatalf("rows = %+v, want Google and Akamai", sc.Rows)
+	}
+	// Sorted by descending truth: Google (4) before Akamai (1).
+	if sc.Rows[0].HG != hg.Google || sc.Rows[1].HG != hg.Akamai {
+		t.Errorf("row order = %v, %v", sc.Rows[0].HG, sc.Rows[1].HG)
+	}
+	if g := sc.Rows[0]; g.Both != 3 || g.Recall != 75 || g.Precision != 75 {
+		t.Errorf("Google row = %+v", g)
+	}
+	if a := sc.Rows[1]; a.Truth != 1 || a.Inferred != 0 || a.Recall != 0 {
+		t.Errorf("Akamai row = %+v", a)
+	}
+
+	prec, rec := sc.MicroAverage()
+	if wantPrec := 75.0; prec != wantPrec {
+		t.Errorf("micro precision = %v, want %v", prec, wantPrec)
+	}
+	if wantRec := 100.0 * 3 / 5; rec != wantRec {
+		t.Errorf("micro recall = %v, want %v", rec, wantRec)
+	}
+}
+
+func TestMicroAverageEmptySidesScoreFull(t *testing.T) {
+	empty := &ScoreResult{}
+	if p, r := empty.MicroAverage(); p != 100 || r != 100 {
+		t.Errorf("empty matrix micro-average = %v/%v, want 100/100", p, r)
+	}
+	onlyTruth := &ScoreResult{Rows: []HGScore{{Truth: 5}}}
+	if p, r := onlyTruth.MicroAverage(); p != 100 || r != 0 {
+		t.Errorf("nothing-inferred micro-average = %v/%v, want 100/0", p, r)
+	}
+}

@@ -193,54 +193,20 @@ func (v *ValSampleResult) Render() string {
 		v.Snapshot.Label(), v.Sampled, v.ValidResponders, v.PctValid, v.PctInferred)
 }
 
-// ValTruthRow is one hypergiant's inference accuracy against ground
-// truth — the exact analogue of the paper's operator survey.
-type ValTruthRow struct {
-	HG                hg.ID
-	Truth, Inferred   int
-	Recall, Precision float64
-}
-
 // ValTruthResult summarizes accuracy for every hypergiant with a
-// footprint.
+// footprint — the exact analogue of the paper's operator survey. The
+// rows come from the shared scorer (score.go) that the scenario-matrix
+// harness also uses.
 type ValTruthResult struct {
 	Snapshot timeline.Snapshot
-	Rows     []ValTruthRow
+	Rows     []HGScore
 }
 
 // ValGroundTruth compares inferred and true footprints at the end of the
 // study.
 func ValGroundTruth(e *Env) *ValTruthResult {
-	s := LastSnapshot()
-	sr := e.Study(corpus.Rapid7)
-	out := &ValTruthResult{Snapshot: s}
-	for _, h := range hg.All() {
-		truth := e.World.TrueOffNetASes(h.ID, s)
-		inferred := sr.ConfirmedASesAt(h.ID, s)
-		if len(truth) == 0 && len(inferred) == 0 {
-			continue
-		}
-		truthSet := make(map[astopo.ASN]struct{}, len(truth))
-		for _, as := range truth {
-			truthSet[as] = struct{}{}
-		}
-		both := 0
-		for as := range inferred {
-			if _, ok := truthSet[as]; ok {
-				both++
-			}
-		}
-		row := ValTruthRow{HG: h.ID, Truth: len(truth), Inferred: len(inferred)}
-		if len(truth) > 0 {
-			row.Recall = 100 * float64(both) / float64(len(truth))
-		}
-		if len(inferred) > 0 {
-			row.Precision = 100 * float64(both) / float64(len(inferred))
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].Truth > out.Rows[j].Truth })
-	return out
+	sc := ScoreStudyAt(e.World, e.Study(corpus.Rapid7), LastSnapshot())
+	return &ValTruthResult{Snapshot: sc.Snapshot, Rows: sc.Rows}
 }
 
 // Render implements Renderer.

@@ -1,0 +1,82 @@
+package scenarios
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioConfig hammers the grid generator with arbitrary knob
+// values: every generated cell must clamp to a valid worldsim.Config
+// (no NaN, no negative fractions), WithDefaults must stay idempotent,
+// and a matrix built from the cells must round-trip through the
+// canonical JSON encoding.
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add(uint64(1), 0.01, 0.2, 0.95, 0.05, 3.0, 2000.0, 4, 7)
+	f.Add(uint64(0), -1.0, 1.5, -0.5, 2.0, -3.0, -100.0, -5, 99)
+	f.Add(uint64(math.MaxUint64), math.Inf(1), math.NaN(), 0.5, math.NaN(), math.Inf(-1), math.NaN(), 1000, -1000)
+	f.Fuzz(func(t *testing.T, seed uint64, scale, v6, null, shared, boost, flash float64, outFrom, outTo int) {
+		spec := GridSpec{
+			Seed:           seed,
+			BaseScale:      scale,
+			Scales:         []float64{scale, scale * 2},
+			V6Fracs:        []float64{v6},
+			NullCertFracs:  []float64{null},
+			SharedFracs:    []float64{shared},
+			CustomerBoosts: []float64{boost},
+			FlashPeaks:     []float64{flash},
+			OutageEras:     [][2]int{{outFrom, outTo}},
+		}
+		cells := spec.Cells()
+		if len(cells) == 0 {
+			t.Fatal("spec produced no cells")
+		}
+		for _, c := range cells {
+			if err := c.Config.Validate(); err != nil {
+				t.Fatalf("cell %q: clamped config still invalid: %v", c.ID, err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("cell %q: invalid: %v", c.ID, err)
+			}
+			cfg := c.Config
+			if math.IsNaN(cfg.Scale) || cfg.Scale < 0 ||
+				math.IsNaN(cfg.IPv6OnlyASFrac) || cfg.IPv6OnlyASFrac < 0 ||
+				math.IsNaN(cfg.SharedCertFrac) || cfg.SharedCertFrac < 0 ||
+				math.IsNaN(cfg.CustomerCertBoost) || cfg.CustomerCertBoost < 0 ||
+				math.IsNaN(cfg.Hide.NullDefaultCertFrac) || cfg.Hide.NullDefaultCertFrac < 0 {
+				t.Fatalf("cell %q: NaN or negative fraction escaped clamping: %+v", c.ID, cfg)
+			}
+			once := cfg.WithDefaults()
+			twice := once.WithDefaults()
+			if !reflect.DeepEqual(once, twice) {
+				t.Fatalf("cell %q: WithDefaults not idempotent: %+v vs %+v", c.ID, once, twice)
+			}
+		}
+
+		// The matrix artifact must survive decode(encode(m)) bytewise.
+		m := &Matrix{Grid: "fuzz", Seed: seed, Pass: true}
+		for _, c := range cells {
+			m.Cells = append(m.Cells, CellResult{
+				ID: c.ID, Family: c.Family, Label: c.Label,
+				Precision: 100, Recall: 100, Coverage: 100,
+				Thresholds: c.Thresholds, Pass: true,
+			})
+		}
+		data, err := m.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeMatrix(data)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		data2, err := back.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatal("matrix JSON did not round-trip bytewise")
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package scenarios
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden cell pins one scenario end to end — world build, outage
+// schedule, full inference, scoring, threshold verdict, and the
+// canonical JSON encoding — against a checked-in artifact. Any
+// methodology or encoding change shows up as a readable diff:
+//
+//	go test ./internal/scenarios -run TestGoldenCell -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files instead of comparing")
+
+const goldenPath = "testdata/golden/cell_outage_mid.json"
+
+// goldenCell is the pinned scenario: the smoke grid's outage cell,
+// which exercises the no-data path, coverage accounting, and scoring
+// in one run.
+func goldenCell() Cell {
+	c, ok := ByID(SmokeGrid(1), "outage/mid")
+	if !ok {
+		panic("smoke grid lost its outage/mid cell")
+	}
+	return c
+}
+
+func TestGoldenCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full seeded study")
+	}
+	m, err := Run(context.Background(), "golden", []Cell{goldenCell()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("golden cell diverges from %s (rerun with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}

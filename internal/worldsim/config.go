@@ -14,6 +14,9 @@
 package worldsim
 
 import (
+	"fmt"
+	"math"
+
 	"offnetscope/internal/astopo"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/timeline"
@@ -42,6 +45,59 @@ type Config struct {
 	// so the IPv4-corpus methodology cannot see them — the §7
 	// limitation, made measurable.
 	IPv6OnlyASFrac float64
+	// Trajectories overrides individual hypergiants' published off-net
+	// trajectories (flash expansion, retreat, uniform growth scaling)
+	// for adversarial scenario studies. Nil or empty leaves the
+	// paper-anchored curves untouched.
+	Trajectories map[hg.ID]TrajectoryOverride
+	// SharedCertFrac forces an extra fraction of background hosts to
+	// present a valid CA-signed certificate shared between a hypergiant
+	// and a partner (the §4.3 case the dNSName-subset rule must
+	// reject). The default mix already contains ~0.4%; this models
+	// aggressive customer-certificate reuse far beyond it.
+	SharedCertFrac float64
+	// CustomerCertBoost multiplies the customer (service-present)
+	// footprint of certificate-issuing hypergiants (Cloudflare, §7):
+	// more ASes whose origin servers carry a hypergiant-issued
+	// certificate without any hypergiant hardware. Zero means 1.0.
+	CustomerCertBoost float64
+}
+
+// TrajectoryOverride reshapes one hypergiant's off-net trajectory for
+// scenario studies. The zero value changes nothing.
+type TrajectoryOverride struct {
+	// OffNetScale multiplies every point of the off-net hosting-AS
+	// curve; zero means 1.0 (unchanged).
+	OffNetScale float64
+	// FlashPeakASes, when positive, splices a flash expansion into the
+	// curve: a triangular bump of this many paper-scale hosting ASes
+	// peaking at FlashAt and fully retreated FlashWidth snapshots to
+	// either side.
+	FlashPeakASes float64
+	// FlashAt is the snapshot of the flash peak.
+	FlashAt timeline.Snapshot
+	// FlashWidth is the bump's half-width in snapshots; zero means 4.
+	FlashWidth int
+}
+
+// flashAt evaluates the flash-expansion bump at snapshot s, in
+// paper-scale hosting ASes.
+func (o TrajectoryOverride) flashAt(s timeline.Snapshot) float64 {
+	if o.FlashPeakASes <= 0 {
+		return 0
+	}
+	width := o.FlashWidth
+	if width <= 0 {
+		width = 4
+	}
+	d := int(s) - int(o.FlashAt)
+	if d < 0 {
+		d = -d
+	}
+	if d >= width {
+		return 0
+	}
+	return o.FlashPeakASes * (1 - float64(d)/float64(width))
 }
 
 // HideAndSeek is the set of §8 evasion strategies a hypergiant could
@@ -68,7 +124,9 @@ func DefaultConfig() Config {
 	return Config{Seed: 1, Scale: DefaultScale}
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns c with zero-valued knobs replaced by their
+// defaults. It is idempotent: applying it twice equals applying it once.
+func (c Config) WithDefaults() Config {
 	if c.Scale <= 0 {
 		c.Scale = DefaultScale
 	}
@@ -76,6 +134,61 @@ func (c Config) withDefaults() Config {
 		c.BackgroundHostsPerAS = 40
 	}
 	return c
+}
+
+// Validate rejects configurations no real scenario can mean: NaN or
+// infinite knobs, negative or out-of-range fractions, and flash
+// overrides pointing outside the study window. A zero field is always
+// valid (it means "default").
+func (c Config) Validate() error {
+	if err := validRange("Scale", c.Scale, 0, 2); err != nil {
+		return err
+	}
+	if err := validRange("BackgroundHostsPerAS", c.BackgroundHostsPerAS, 0, 10000); err != nil {
+		return err
+	}
+	if err := validRange("Hide.NullDefaultCertFrac", c.Hide.NullDefaultCertFrac, 0, 1); err != nil {
+		return err
+	}
+	if err := validRange("IPv6OnlyASFrac", c.IPv6OnlyASFrac, 0, 1); err != nil {
+		return err
+	}
+	if err := validRange("SharedCertFrac", c.SharedCertFrac, 0, 1); err != nil {
+		return err
+	}
+	if err := validRange("CustomerCertBoost", c.CustomerCertBoost, 0, 100); err != nil {
+		return err
+	}
+	for id, o := range c.Trajectories {
+		if id <= hg.None || int(id) > hg.Count {
+			return fmt.Errorf("worldsim: Trajectories[%d]: unknown hypergiant", int(id))
+		}
+		name := fmt.Sprintf("Trajectories[%v]", id)
+		if err := validRange(name+".OffNetScale", o.OffNetScale, 0, 100); err != nil {
+			return err
+		}
+		if err := validRange(name+".FlashPeakASes", o.FlashPeakASes, 0, 1e6); err != nil {
+			return err
+		}
+		if o.FlashPeakASes > 0 && !o.FlashAt.Valid() {
+			return fmt.Errorf("worldsim: %s.FlashAt %d outside the study window", name, int(o.FlashAt))
+		}
+		if o.FlashWidth < 0 || o.FlashWidth > timeline.Count() {
+			return fmt.Errorf("worldsim: %s.FlashWidth %d out of range [0, %d]", name, o.FlashWidth, timeline.Count())
+		}
+	}
+	return nil
+}
+
+// validRange rejects NaN, infinities, and values outside [lo, hi].
+func validRange(name string, v, lo, hi float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("worldsim: %s is %v", name, v)
+	}
+	if v < lo || v > hi {
+		return fmt.Errorf("worldsim: %s %v out of range [%g, %g]", name, v, lo, hi)
+	}
+	return nil
 }
 
 // realFinalASes is the approximate number of ASes in the real Internet at

@@ -299,9 +299,22 @@ func (w *World) resolve(ip netmodel.IP, s timeline.Snapshot) (hostID, bool) {
 			return hostID{}, false
 		}
 		key := w.h(uint64(as), uint64(seq), hstr("bg-host"))
-		return hostID{kind: kindBackground, as: as, idx: seq, class: bgClass(key), ip: ip}, true
+		return hostID{kind: kindBackground, as: as, idx: seq, class: w.bgClassOf(key), ip: ip}, true
 	}
 	return hostID{}, false
+}
+
+// bgClassOf applies the scenario shared-certificate boost on top of the
+// base §4.1 class mix: a SharedCertFrac slice of the background
+// population presents hypergiant/partner shared certificates, drawn from
+// an independent hash stream so the remaining mix is unchanged.
+func (w *World) bgClassOf(key uint64) hostClass {
+	if f := w.cfg.SharedCertFrac; f > 0 {
+		if float64(mix64(key^hstr("shared-boost"))%100000)/100000 < f {
+			return classSharedCert
+		}
+	}
+	return bgClass(key)
 }
 
 func bgClass(key uint64) hostClass {
@@ -534,7 +547,7 @@ func (w *World) Hosts(s timeline.Snapshot, yield func(*Host) bool) {
 		n := w.backgroundCount(as, s)
 		for seq := 0; seq < n; seq++ {
 			key := w.h(uint64(as), uint64(seq), hstr("bg-host"))
-			hid := hostID{kind: kindBackground, as: as, idx: seq, class: bgClass(key), ip: w.backgroundIP(as, seq)}
+			hid := hostID{kind: kindBackground, as: as, idx: seq, class: w.bgClassOf(key), ip: w.backgroundIP(as, seq)}
 			if !emit(hid) {
 				return
 			}

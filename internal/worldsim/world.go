@@ -58,7 +58,7 @@ type World struct {
 
 // New builds a world from cfg. Construction is deterministic in cfg.
 func New(cfg Config) (*World, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	w := &World{
 		cfg:         cfg,
 		scale:       cfg.Scale,
@@ -149,14 +149,40 @@ func (w *World) buildPKI() {
 	w.rogueInt = rogue.Intermediates[0]
 }
 
-// targetCount scales a paper-sized AS count into this world. Ceil keeps
-// tiny footprints (Twitter's 4 ASes) visible at small scales.
+// targetCount scales a paper-sized AS count into this world.
 func (w *World) targetCount(curve []anchor, s timeline.Snapshot) int {
-	v := interpolate(curve, s)
+	return w.scaleCount(interpolate(curve, s))
+}
+
+// scaleCount converts a paper-scale AS count into this world. Ceil keeps
+// tiny footprints (Twitter's 4 ASes) visible at small scales.
+func (w *World) scaleCount(v float64) int {
 	if v <= 0 {
 		return 0
 	}
 	return int(math.Ceil(v * w.scale))
+}
+
+// footprintTarget is the hosting-AS target of one footprint at s, after
+// applying any scenario overrides: per-hypergiant trajectory reshaping
+// on the off-net curve, and the customer-certificate boost on the
+// service-present curve of certificate-issuing hypergiants.
+func (w *World) footprintTarget(id hg.ID, st *strategy, s timeline.Snapshot, servicePresent bool) int {
+	if servicePresent {
+		v := interpolate(st.servicePresentASes, s)
+		if st.cloudflareIssuer && w.cfg.CustomerCertBoost > 0 {
+			v *= w.cfg.CustomerCertBoost
+		}
+		return w.scaleCount(v)
+	}
+	v := interpolate(st.offNetASes, s)
+	if o, ok := w.cfg.Trajectories[id]; ok {
+		if o.OffNetScale > 0 {
+			v *= o.OffNetScale
+		}
+		v += o.flashAt(s)
+	}
+	return w.scaleCount(v)
 }
 
 // buildDeployments evolves every hypergiant's off-net and
@@ -221,11 +247,7 @@ func (w *World) categories(s timeline.Snapshot) []astopo.Category {
 // evolveFootprint grows or shrinks one footprint (off-net or
 // service-present) to its target size at snapshot s.
 func (w *World) evolveFootprint(id hg.ID, st *strategy, s, last timeline.Snapshot, eyeballs []astopo.ASN, cats []astopo.Category, hostCount map[astopo.ASN]int, rnd *rng.RNG, servicePresent bool) {
-	curve := st.offNetASes
-	if servicePresent {
-		curve = st.servicePresentASes
-	}
-	target := w.targetCount(curve, s)
+	target := w.footprintTarget(id, st, s, servicePresent)
 
 	var active []astopo.ASN
 	if servicePresent {
