@@ -79,10 +79,14 @@ bench:
 
 # One iteration of every benchmark — catches bit-rotted benchmark code
 # in CI without paying for a measurement run. The serving benchmarks
-# run -short (one iteration is a whole workload replay there).
+# run -short (one iteration is a whole workload replay there). The
+# allocation gate pins the streamed A.3 certificate pass to its
+# post-streaming budget so an alloc regression fails CI, not just a
+# benchmark trend diff.
 bench-smoke:
 	go test -bench=. -benchtime=1x -benchmem -run='^$$' . ./internal/core
 	go test -bench=. -benchtime=1x -benchmem -short -run='^$$' ./internal/loadgen
+	go test -count=1 -run 'TestA3CertAllocBudget' .
 
 # The serving benchmarks behind BENCH_offnetd.json: 1M-lookup zipfian
 # workloads through the in-process offnetd engine — cache-on vs

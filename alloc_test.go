@@ -1,0 +1,36 @@
+package offnetscope
+
+import (
+	"testing"
+
+	"offnetscope/internal/analysis"
+	"offnetscope/internal/worldsim"
+)
+
+// TestA3CertAllocBudget is the allocation regression gate for the
+// streaming A.3 pass. The streamed, header-free certificate enumeration
+// plus the worldsim chain cache brought BenchmarkA3CertCharacteristics
+// from ~15.9M allocs/op down to ~0.98M; the ceiling here is ~2× that
+// measurement, so noise passes but reverting to materialized scans (or
+// re-minting certificate chains per host) fails loudly in bench-smoke
+// long before a full `make bench` would notice.
+func TestA3CertAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	e, err := analysis.NewEnv(worldsim.Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AllocsPerRun's warm-up call populates the world's chain cache, so
+	// the measured run sees the steady state the benchmark measures.
+	const ceiling = 2_000_000
+	allocs := testing.AllocsPerRun(1, func() {
+		if out := analysis.A3Certs(e).Render(); len(out) == 0 {
+			t.Fatal("empty experiment output")
+		}
+	})
+	if allocs > ceiling {
+		t.Errorf("A3Certs allocated %.0f objects per run, budget %d — the streamed cert pass has regressed", allocs, int(ceiling))
+	}
+}

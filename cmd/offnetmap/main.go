@@ -23,6 +23,12 @@
 // final checkpoint, and -resume picks up where the run stopped —
 // producing byte-identical output to an uninterrupted run.
 //
+// -growth reads stream each vendor-month in fixed-size record batches
+// (-chunk), so resident memory is bounded by the batch plus the month's
+// validated working set instead of the raw corpus; -chunk 0 restores
+// the materializing read. Output is byte-identical either way, at any
+// -jobs × -shards × -chunk combination.
+//
 // Exit codes: 0 success; 1 failure; 2 usage error; 3 the -growth run
 // completed but with reduced coverage (dropped vendor-months or
 // snapshots), so cron/CI can detect silent degradation.
@@ -44,6 +50,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -125,6 +132,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	resume := fs.Bool("resume", false, "with -checkpoint: reload intact checkpoints instead of recomputing (manifest must match)")
 	jobs := fs.Int("jobs", 1, "with -growth: parallel per-snapshot inference workers (output is identical at any setting)")
 	shards := fs.Int("shards", 0, "per-snapshot record shards; 0 picks NumCPU divided across -jobs workers (output is identical at any setting)")
+	chunk := fs.Int("chunk", corpus.DefaultChunkSize, "with -growth: stream each vendor-month in record batches of this size, bounding memory; 0 = materialize each month in full (output is identical at any setting)")
 	snapTimeout := fs.Duration("snapshot-timeout", 30*time.Minute, "with -growth: per-snapshot watchdog deadline; a stuck snapshot is retried then dropped (0 disables)")
 	metricsPath := fs.String("metrics", "", "write the run's metrics (pipeline funnel, corpus, retry, checkpoint accounting) to this JSON file")
 	verbose := fs.Bool("v", false, "print a human-readable pipeline-funnel summary after the run")
@@ -161,6 +169,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *shards < 0 {
 		return usageError(fmt.Errorf("-shards must be non-negative (0 = auto)"))
 	}
+	if *chunk < 0 {
+		return usageError(fmt.Errorf("-chunk must be non-negative (0 = materialize)"))
+	}
 	if *shards == 0 {
 		// Auto: split the machine's cores across the -jobs snapshot
 		// workers, so jobs×shards stays within the CPU budget.
@@ -193,6 +204,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			checkpoint: *checkpoint,
 			resume:     *resume,
 			jobs:       *jobs,
+			chunk:      *chunk,
 			timeout:    *snapTimeout,
 			metrics:    reg,
 		}
@@ -497,6 +509,7 @@ type growthOptions struct {
 	checkpoint string
 	resume     bool
 	jobs       int
+	chunk      int // record-batch size for streaming reads; 0 materializes
 	timeout    time.Duration
 	metrics    *obs.Registry
 }
@@ -510,6 +523,7 @@ type growthOptions struct {
 // reduced coverage reported; in strict mode the first read error aborts
 // the run. Returns the study plus the number of dropped snapshots.
 func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, dir string, vendor corpus.Vendor, opts corpus.ReadOptions, gopt growthOptions) (*core.StudyResult, int, error) {
+	opts.ChunkSize = gopt.chunk
 	var ckDir *runstate.Dir
 	if gopt.checkpoint != "" {
 		fp, err := runstate.CorpusFingerprint(dir)
@@ -534,26 +548,31 @@ func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, d
 	var mu sync.Mutex
 	statsBy := make(map[timeline.Snapshot]*corpus.ReadStats)
 	var strictErr error
+	// classify maps a read failure onto the retry policy: strict mode
+	// records the first error and aborts, a blown error budget is
+	// deterministic corruption (retrying re-reads the same bytes) and
+	// fails the snapshot immediately, anything else stays retryable.
+	classify := func(s timeline.Snapshot, err error) error {
+		if !opts.Tolerant {
+			mu.Lock()
+			if strictErr == nil {
+				strictErr = fmt.Errorf("reading corpus %s/%s: %w", vendor, s.Label(), err)
+			}
+			mu.Unlock()
+			return resilience.Permanent(err)
+		}
+		if errors.Is(err, corpus.ErrBudgetExceeded) {
+			return resilience.Permanent(err)
+		}
+		return err
+	}
 	source := func(_ context.Context, s timeline.Snapshot) (*corpus.Snapshot, error) {
 		snap, stats, err := corpus.ReadWithStats(dir, vendor, s, opts)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
 				return nil, nil // months the corpus doesn't cover
 			}
-			if !opts.Tolerant {
-				mu.Lock()
-				if strictErr == nil {
-					strictErr = fmt.Errorf("reading corpus %s/%s: %w", vendor, s.Label(), err)
-				}
-				mu.Unlock()
-				return nil, resilience.Permanent(err)
-			}
-			if errors.Is(err, corpus.ErrBudgetExceeded) {
-				// Deterministic corruption: retrying re-reads the same
-				// bytes, so fail the snapshot immediately.
-				return nil, resilience.Permanent(err)
-			}
-			return nil, err
+			return nil, classify(s, err)
 		}
 		if stats != nil {
 			mu.Lock()
@@ -561,6 +580,39 @@ func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, d
 			mu.Unlock()
 		}
 		return snap, nil
+	}
+	// streamSource is the -chunk > 0 equivalent: the study runner pulls
+	// each vendor-month as chunked record batches instead of a
+	// materialized Snapshot. Error classification is identical, and —
+	// matching ReadWithStats, which reports stats only for months it
+	// read in full — a month's stats are recorded only once all three
+	// record streams have completed cleanly.
+	streamSource := func(_ context.Context, s timeline.Snapshot) (*corpus.Stream, error) {
+		st, err := corpus.OpenStream(dir, vendor, s, opts)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, nil // months the corpus doesn't cover
+			}
+			return nil, classify(s, err)
+		}
+		var pending atomic.Int32
+		pending.Store(3)
+		finish := func(err error) error {
+			if err != nil {
+				return classify(s, err)
+			}
+			if pending.Add(-1) == 0 {
+				mu.Lock()
+				statsBy[s] = st.Stats
+				mu.Unlock()
+			}
+			return nil
+		}
+		certs, https, http := st.Certs, st.HTTPS, st.HTTP
+		st.Certs = func(yield func([]corpus.CertRecord) error) error { return finish(certs(yield)) }
+		st.HTTPS = func(yield func([]corpus.HeaderRecord) error) error { return finish(https(yield)) }
+		st.HTTP = func(yield func([]corpus.HeaderRecord) error) error { return finish(http(yield)) }
+		return st, nil
 	}
 
 	var dropped []string
@@ -596,7 +648,13 @@ func runGrowth(ctx context.Context, stdout io.Writer, pipeline *core.Pipeline, d
 		cfg.Persist = ckDir.Save
 	}
 
-	sr, runErr := pipeline.RunStudyConfig(ctx, source, cfg)
+	var sr *core.StudyResult
+	var runErr error
+	if gopt.chunk > 0 {
+		sr, runErr = pipeline.RunStudyStream(ctx, streamSource, cfg)
+	} else {
+		sr, runErr = pipeline.RunStudyConfig(ctx, source, cfg)
+	}
 	if restoredN > 0 {
 		fmt.Fprintf(stdout, "resume: reused %d checkpointed snapshot(s) from %s\n", restoredN, gopt.checkpoint)
 	}

@@ -53,8 +53,11 @@ func A3Certs(e *Env) *A3Result {
 		domainPools[id] = pool
 	}
 	for _, s := range timeline.All() {
-		snap := e.Scan(corpus.Rapid7, s)
-		if snap == nil {
+		// The pass only reads certificates, so consume the streamed scan:
+		// record batches are synthesized and discarded in place instead of
+		// materializing the month's corpus (headers and all).
+		st := e.ScanStream(corpus.Rapid7, s)
+		if st == nil {
 			continue
 		}
 		type agg struct {
@@ -65,39 +68,44 @@ func A3Certs(e *Env) *A3Result {
 		for _, id := range out.HGs {
 			aggs[id] = &agg{fps: make(map[uint64]struct{})}
 		}
-		for _, cr := range snap.Certs {
-			leaf := cr.Chain.Leaf()
-			org := strings.ToLower(leaf.Subject.Organization)
-			for _, id := range out.HGs {
-				if !strings.Contains(org, hg.Get(id).Keyword) {
-					continue
-				}
-				// Only genuine hypergiant serving certificates: valid
-				// chains whose dNSNames all come from the hypergiant's
-				// first-party domain pool. This sheds shared-certificate
-				// partners and self-signed impostors.
-				if certmodel.Verify(cr.Chain, snap.ScanTime(), e.World.TrustStore()) != nil {
-					continue
-				}
-				inPool := len(leaf.DNSNames) > 0
-				for _, d := range leaf.DNSNames {
-					if _, ok := domainPools[id][d]; !ok {
-						inPool = false
-						break
+		scanTime := st.ScanTime()
+		// Synthesized streams never fail and the consumer never aborts.
+		_ = st.Certs(func(batch []corpus.CertRecord) error {
+			for _, cr := range batch {
+				leaf := cr.Chain.Leaf()
+				org := strings.ToLower(leaf.Subject.Organization)
+				for _, id := range out.HGs {
+					if !strings.Contains(org, hg.Get(id).Keyword) {
+						continue
 					}
+					// Only genuine hypergiant serving certificates: valid
+					// chains whose dNSNames all come from the hypergiant's
+					// first-party domain pool. This sheds shared-certificate
+					// partners and self-signed impostors.
+					if certmodel.Verify(cr.Chain, scanTime, e.World.TrustStore()) != nil {
+						continue
+					}
+					inPool := len(leaf.DNSNames) > 0
+					for _, d := range leaf.DNSNames {
+						if _, ok := domainPools[id][d]; !ok {
+							inPool = false
+							break
+						}
+					}
+					if !inPool {
+						continue
+					}
+					a := aggs[id]
+					fp := uint64(leaf.Fingerprint())
+					if _, seen := a.fps[fp]; !seen {
+						a.fps[fp] = struct{}{}
+						a.lifetimes = append(a.lifetimes, leaf.NotAfter.Sub(leaf.NotBefore).Hours()/24)
+					}
+					break
 				}
-				if !inPool {
-					continue
-				}
-				a := aggs[id]
-				fp := uint64(leaf.Fingerprint())
-				if _, seen := a.fps[fp]; !seen {
-					a.fps[fp] = struct{}{}
-					a.lifetimes = append(a.lifetimes, leaf.NotAfter.Sub(leaf.NotBefore).Hours()/24)
-				}
-				break
 			}
-		}
+			return nil
+		})
 		for _, id := range out.HGs {
 			a := aggs[id]
 			row := A3Row{UniqueCerts: len(a.fps)}

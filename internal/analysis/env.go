@@ -90,6 +90,15 @@ func (e *Env) Scan(v corpus.Vendor, s timeline.Snapshot) *corpus.Snapshot {
 	return scanners.Scan(e.World, profileFor(v), s)
 }
 
+// ScanStream produces one vendor snapshot as a chunked record stream:
+// records are synthesized during consumption instead of materializing
+// the month's corpus, so experiments that only walk one record kind
+// (e.g. A.3's certificate pass) stay in bounded memory. Nil when the
+// vendor doesn't cover s, like Scan.
+func (e *Env) ScanStream(v corpus.Vendor, s timeline.Snapshot) *corpus.Stream {
+	return scanners.ScanStream(e.World, profileFor(v), s, 0)
+}
+
 // CategoryOf returns the AS's size category at s, cached per snapshot.
 func (e *Env) CategoryOf(as astopo.ASN, s timeline.Snapshot) astopo.Category {
 	e.mu.Lock()

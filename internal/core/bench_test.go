@@ -131,3 +131,26 @@ func benchStudy(b *testing.B, jobs int) {
 // flag buys, with identical output per the golden suite.
 func BenchmarkStudyJobs1(b *testing.B) { benchStudy(b, 1) }
 func BenchmarkStudyJobs4(b *testing.B) { benchStudy(b, 4) }
+
+// BenchmarkStudyStreaming is the same 31-snapshot study driven through
+// the streaming engine: RunStudyStream over scanner-synthesized record
+// batches at the default chunk size, with records validated as batches
+// arrive instead of materializing each month's corpus first. Its
+// bytes/op against BenchmarkStudyJobs4 is the memory headroom the
+// -chunk flag buys; the output is identical per the golden suite.
+func BenchmarkStudyStreaming(b *testing.B) {
+	p := testPipeline(DefaultOptions())
+	profile := scanners.Rapid7Profile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := p.RunStudyStream(context.Background(), func(_ context.Context, s timeline.Snapshot) (*corpus.Stream, error) {
+			return scanners.ScanStream(testWorld, profile, s, 0), nil
+		}, StudyConfig{Jobs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sr.ConfirmedSeries(hg.Google)[lastSnap] == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}

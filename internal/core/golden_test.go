@@ -65,7 +65,38 @@ func runGoldenStudy(t *testing.T, jobs, shards int) *goldenStudy {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return freezeGolden(t, reg, sr)
+}
 
+// runGoldenStudyStream executes the same seeded study through the
+// streaming engine — RunStudyStream over chunked record batches — and
+// freezes the identical observable set. The determinism contract says
+// the bytes must match the materializing run at any chunk size.
+func runGoldenStudyStream(t *testing.T, jobs, shards, chunk int) *goldenStudy {
+	t.Helper()
+	reg := obs.NewRegistry("golden")
+	p := testPipeline(DefaultOptions())
+	p.Metrics = reg
+	p.Shards = shards
+	profile := scanners.Rapid7Profile()
+	sr, err := p.RunStudyStream(context.Background(), func(_ context.Context, s timeline.Snapshot) (*corpus.Stream, error) {
+		snap := scanners.Scan(testWorld, profile, s)
+		if snap == nil {
+			return nil, nil
+		}
+		return corpus.StreamOf(snap, chunk), nil
+	}, StudyConfig{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return freezeGolden(t, reg, sr)
+}
+
+// freezeGolden distills one finished study into the golden observable
+// set: full counter map, growth series, last-snapshot footprints, and
+// the rendered report.
+func freezeGolden(t *testing.T, reg *obs.Registry, sr *StudyResult) *goldenStudy {
+	t.Helper()
 	g := &goldenStudy{
 		Counters:     reg.Snapshot().Counters,
 		Series:       map[string][]int{},
@@ -190,4 +221,31 @@ func TestGoldenJobsShardsInvariance(t *testing.T) {
 		t.Skip("golden file is written by the sequential run")
 	}
 	compareGolden(t, runGoldenStudy(t, 2, 2))
+}
+
+// TestGoldenChunkInvariance runs the study through the streaming engine
+// at a pathological chunk size of one record per batch — every fold
+// boundary exercised — stacked with a worker pool, and demands the
+// exact golden bytes the materializing sequential run froze.
+func TestGoldenChunkInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full seeded study")
+	}
+	if *updateGolden {
+		t.Skip("golden file is written by the sequential run")
+	}
+	compareGolden(t, runGoldenStudyStream(t, 4, 1, 1))
+}
+
+// TestGoldenJobsShardsChunkInvariance stacks all three execution knobs —
+// jobs × shards × an odd chunk size that never divides the record count
+// evenly — and still demands the exact golden bytes.
+func TestGoldenJobsShardsChunkInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full seeded study")
+	}
+	if *updateGolden {
+		t.Skip("golden file is written by the sequential run")
+	}
+	compareGolden(t, runGoldenStudyStream(t, 2, 2, 509))
 }

@@ -103,7 +103,17 @@ type Pipeline struct {
 	// Shards, like StudyConfig.Jobs, is an execution knob: deliberately
 	// not part of Options, and excluded from checkpoint manifests.
 	Shards int
+
 }
+
+// shardScratchPool pools validateShard partials so chunked reads and
+// long studies reuse the record buffers and tally maps across batches
+// and snapshots instead of re-growing them each time. Scratch is fully
+// reset before reuse, so pooling cannot leak state between snapshots —
+// which also makes it safe to share process-wide rather than
+// per-Pipeline (ablations and benchmarks copy Pipeline by value, and a
+// struct-embedded pool would make that copy a vet error).
+var shardScratchPool sync.Pool
 
 // cloudflareCustomerRe is the §7 filter for Cloudflare-issued customer
 // certificates.
@@ -234,9 +244,21 @@ func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
 		httpIdx = snap.HTTPHeadersByIP()
 	}
 
+	p.matchAndCount(res, records, httpsIdx, httpIdx)
+	m.Histogram("funnel.run_ns").Since(runStart)
+	return res
+}
+
+// matchAndCount is the post-validation half of the methodology — the
+// per-hypergiant match/confirm passes (steps 2–5), the corpus-wide IP
+// split, and every per-snapshot funnel counter. It is shared verbatim
+// by the materializing (Run) and streaming (RunStream) paths, so the
+// two can never emit different counter sets for the same records.
+func (p *Pipeline) matchAndCount(res *Result, records []record, httpsIdx, httpIdx map[netmodel.IP][]hg.Header) {
+	m := p.Metrics
 	matchStart := time.Now()
 	for _, h := range hg.All() {
-		hr := p.runHG(h, snap.Snapshot, records, httpsIdx, httpIdx)
+		hr := p.runHG(h, res.Snapshot, records, httpsIdx, httpIdx)
 		res.PerHG[h.ID] = hr
 	}
 	m.Histogram("funnel.match_ns").Since(matchStart)
@@ -259,8 +281,6 @@ func (p *Pipeline) Run(snap *corpus.Snapshot) *Result {
 		m.Counter("funnel.confirmed_ips").Add(int64(hr.ConfirmedIPs))
 		m.Counter("funnel.confirmed_ases").Add(int64(len(hr.ConfirmedASes)))
 	}
-	m.Histogram("funnel.run_ns").Since(runStart)
-	return res
 }
 
 // validate is step 1: verify every chain and annotate records with
@@ -289,10 +309,31 @@ func (p *Pipeline) validate(snap *corpus.Snapshot, res *Result, mapper IPMapper)
 		for as := range part.asSet {
 			asSet[as] = struct{}{}
 		}
+		p.putShardScratch(part)
 	}
 	res.TotalCertASes = len(asSet)
 	return records
 }
+
+// getShardScratch hands out a fully reset validateShard, reusing a
+// pooled one when available. Records appended into it are copied out by
+// the fold before the shard returns to the pool, so reuse can never
+// alias a previous batch's data.
+func (p *Pipeline) getShardScratch() *validateShard {
+	if v, ok := shardScratchPool.Get().(*validateShard); ok {
+		v.records = v.records[:0]
+		v.valid = 0
+		clear(v.invalid)
+		clear(v.asSet)
+		return v
+	}
+	return &validateShard{
+		invalid: make(map[string]int),
+		asSet:   make(map[astopo.ASN]struct{}),
+	}
+}
+
+func (p *Pipeline) putShardScratch(v *validateShard) { shardScratchPool.Put(v) }
 
 // validateShard is one shard's step-1 partial result: counts and the AS
 // set merge by addition/union, records concatenate in shard order.
@@ -307,11 +348,7 @@ type validateShard struct {
 // only reads the pipeline's immutable datasets (trust store, mapper),
 // so any number of ranges can run concurrently.
 func (p *Pipeline) validateRange(certs []corpus.CertRecord, at time.Time, mapper IPMapper) *validateShard {
-	part := &validateShard{
-		records: make([]record, 0, len(certs)),
-		invalid: make(map[string]int),
-		asSet:   make(map[astopo.ASN]struct{}),
-	}
+	part := p.getShardScratch()
 	for _, cr := range certs {
 		asns := mapper.Lookup(cr.IP)
 		for _, as := range asns {

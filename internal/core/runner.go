@@ -18,6 +18,13 @@ import (
 // several worker goroutines at once when StudyConfig.Jobs > 1.
 type StudySource func(ctx context.Context, s timeline.Snapshot) (*corpus.Snapshot, error)
 
+// StreamSource supplies one study month as a chunked record stream —
+// the bounded-memory counterpart of StudySource, with the same nil/nil
+// convention for months the vendor doesn't cover and the same
+// concurrency obligations. A fresh Stream must be returned per call:
+// retries consume a new one.
+type StreamSource func(ctx context.Context, s timeline.Snapshot) (*corpus.Stream, error)
+
 // StudyConfig tunes the longitudinal runner. The zero value is the
 // classic sequential in-memory run.
 type StudyConfig struct {
@@ -69,6 +76,37 @@ type outcome struct {
 // contiguous order, then returns the partial result with ctx's error —
 // so a resumed run restarts exactly where this one stopped.
 func (p *Pipeline) RunStudyConfig(ctx context.Context, source StudySource, cfg StudyConfig) (*StudyResult, error) {
+	return p.runStudy(ctx, cfg, func(ctx context.Context, s timeline.Snapshot) (*SnapshotInference, error) {
+		snap, err := source(ctx, s)
+		if err != nil || snap == nil {
+			return nil, err
+		}
+		return p.InferSnapshot(snap), nil
+	})
+}
+
+// RunStudyStream is RunStudyConfig over a StreamSource: identical
+// scheduling, retry, checkpointing, and fold semantics, but each
+// snapshot streams through inference in bounded memory instead of
+// materializing first. Output is byte-identical to RunStudyConfig over
+// the same corpus at any jobs × shards × chunk-size combination.
+func (p *Pipeline) RunStudyStream(ctx context.Context, source StreamSource, cfg StudyConfig) (*StudyResult, error) {
+	return p.runStudy(ctx, cfg, func(ctx context.Context, s timeline.Snapshot) (*SnapshotInference, error) {
+		st, err := source(ctx, s)
+		if err != nil || st == nil {
+			return nil, err
+		}
+		return p.InferSnapshotStream(st)
+	})
+}
+
+// runStudy is the scheduling skeleton both study runners share: the
+// worker pool, the per-snapshot slots, the in-order envelope fold, and
+// checkpoint restore/persist. attempt produces one snapshot's complete
+// inference (nil, nil meaning the month is not covered); how the
+// records get from disk to records — materialized or streamed — is
+// entirely its business.
+func (p *Pipeline) runStudy(ctx context.Context, cfg StudyConfig, attempt func(context.Context, timeline.Snapshot) (*SnapshotInference, error)) (*StudyResult, error) {
 	n := timeline.Count()
 	out := &StudyResult{
 		Results:            make([]*Result, n),
@@ -112,7 +150,7 @@ func (p *Pipeline) RunStudyConfig(ctx context.Context, source StudySource, cfg S
 			go func() {
 				defer wg.Done()
 				for s := range work {
-					inf, err := p.inferOnce(wctx, source, s, cfg)
+					inf, err := p.inferOnce(wctx, attempt, s, cfg)
 					// Each slot is buffered and receives at most one send (the
 					// dispatcher hands every snapshot out exactly once), so
 					// this never blocks; the wctx arm is defensive, keeping a
@@ -206,7 +244,7 @@ func (sr *StudyResult) setEnvelope(s timeline.Snapshot, v EnvelopeValues) {
 // inferOnce runs one snapshot's read + inference under the watchdog
 // deadline and the retry policy; the returned error means the snapshot
 // is dropped.
-func (p *Pipeline) inferOnce(ctx context.Context, source StudySource, s timeline.Snapshot, cfg StudyConfig) (*SnapshotInference, error) {
+func (p *Pipeline) inferOnce(ctx context.Context, attempt func(context.Context, timeline.Snapshot) (*SnapshotInference, error), s timeline.Snapshot, cfg StudyConfig) (*SnapshotInference, error) {
 	pol := cfg.Retry
 	if pol.Classify == nil {
 		// The per-attempt watchdog surfaces as context.DeadlineExceeded,
@@ -225,15 +263,14 @@ func (p *Pipeline) inferOnce(ctx context.Context, source StudySource, s timeline
 			actx, cancel = context.WithTimeout(rctx, cfg.SnapshotTimeout)
 			defer cancel()
 		}
-		snap, err := source(actx, s)
+		res, err := attempt(actx, s)
 		if err != nil {
 			return err
 		}
-		if snap == nil {
+		if res == nil {
 			inf = nil
 			return nil
 		}
-		res := p.InferSnapshot(snap)
 		// Watchdog: an attempt that overran its deadline failed even if
 		// it limped to a result — a stuck snapshot must not wedge the run.
 		if aerr := actx.Err(); aerr != nil {

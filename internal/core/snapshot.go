@@ -66,8 +66,16 @@ func (p *Pipeline) InferSnapshot(snap *corpus.Snapshot) *SnapshotInference {
 		}
 	}
 
+	lookups := p.netflixLookups(res, p.Mapper(snap.Snapshot))
+	return &SnapshotInference{Result: res, HTTPOnlyIPs: httpOnly, NetflixLookups: lookups}
+}
+
+// netflixLookups maps one snapshot's confirmed and expired Netflix IPs
+// (in evidence order, deduplicated) to their origin ASes — the memory
+// candidates the envelope fold consumes. Shared by the materializing
+// and streaming inference paths.
+func (p *Pipeline) netflixLookups(res *Result, mapper IPMapper) []MemEntry {
 	nf := res.PerHG[hg.Netflix]
-	mapper := p.Mapper(snap.Snapshot)
 	seen := make(map[netmodel.IP]struct{}, len(nf.ConfirmedIPList)+len(nf.ExpiredIPs))
 	var lookups []MemEntry
 	remember := func(ips []netmodel.IP) {
@@ -81,8 +89,7 @@ func (p *Pipeline) InferSnapshot(snap *corpus.Snapshot) *SnapshotInference {
 	}
 	remember(nf.ConfirmedIPList)
 	remember(nf.ExpiredIPs)
-
-	return &SnapshotInference{Result: res, HTTPOnlyIPs: httpOnly, NetflixLookups: lookups}
+	return lookups
 }
 
 // CheckpointData is everything the study needs to skip recomputing one

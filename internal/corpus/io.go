@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -71,11 +72,14 @@ func toWireCert(c *certmodel.Certificate) wireCert {
 	}
 }
 
-func fromWireCert(w wireCert) *certmodel.Certificate {
+func fromWireCert(w wireCert, strs strTable) *certmodel.Certificate {
+	for i := range w.DNSNames {
+		w.DNSNames[i] = strs.intern(w.DNSNames[i])
+	}
 	return &certmodel.Certificate{
 		SerialNumber: w.Serial,
-		Subject:      certmodel.Name{Organization: w.SubjectOrg, CommonName: w.SubjectCN},
-		Issuer:       certmodel.Name{Organization: w.IssuerOrg, CommonName: w.IssuerCN},
+		Subject:      certmodel.Name{Organization: strs.intern(w.SubjectOrg), CommonName: strs.intern(w.SubjectCN)},
+		Issuer:       certmodel.Name{Organization: strs.intern(w.IssuerOrg), CommonName: strs.intern(w.IssuerCN)},
 		DNSNames:     w.DNSNames,
 		NotBefore:    unixTime(w.NotBefore),
 		NotAfter:     unixTime(w.NotAfter),
@@ -84,6 +88,26 @@ func fromWireCert(w wireCert) *certmodel.Certificate {
 		SignedBy:     certmodel.KeyID(w.SignedBy),
 		Forged:       w.Forged,
 	}
+}
+
+// strTable interns the short strings that repeat across the records of
+// one read — dNSNames, organization and common-name fields, header
+// names and values — so a vendor-month whose millions of records share
+// a few thousand distinct names retains one copy per distinct string
+// instead of one per record. A table lives for exactly one file read:
+// vocabularies repeat within a month, but a longer-lived table would
+// pin a study's worth of dead strings. A nil table disables interning.
+type strTable map[string]string
+
+func (t strTable) intern(s string) string {
+	if t == nil || s == "" {
+		return s
+	}
+	if v, ok := t[s]; ok {
+		return v
+	}
+	t[s] = s
+	return s
 }
 
 func unixTime(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
@@ -217,6 +241,13 @@ type ReadOptions struct {
 	// skipped by reason, and a read-latency histogram. Counter totals
 	// are deterministic for a fixed corpus; only corpus.read_ns varies.
 	Metrics *obs.Registry
+
+	// ChunkSize bounds the record batches the streaming read path
+	// (OpenStream) yields; zero means DefaultChunkSize. It is an
+	// execution knob like -jobs and -shards, not part of the
+	// determinism contract: output is byte-identical at any setting.
+	// The materializing path (Read/ReadWithStats) ignores it.
+	ChunkSize int
 }
 
 // NoBudget is the MaxBadFraction sentinel for zero tolerance: any
@@ -240,6 +271,27 @@ func (o ReadOptions) budget() float64 {
 // error budget; the whole snapshot read fails with it so callers can
 // drop the vendor-month rather than trust a mostly-corrupt file.
 var ErrBudgetExceeded = errors.New("corpus: per-file error budget exceeded")
+
+// recordReadMetrics emits the corpus.* read accounting for one snapshot
+// read attempt. It is shared by the materializing (ReadWithStats) and
+// streaming (OpenStream) paths so the counter totals stay byte-identical
+// between them for the same corpus.
+func recordReadMetrics(m *obs.Registry, start time.Time, stats *ReadStats, err error) {
+	m.Histogram("corpus.read_ns").Since(start)
+	m.Counter("corpus.reads").Inc()
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			m.Counter("corpus.read_missing").Inc() // months the vendor doesn't cover
+		} else {
+			m.Counter("corpus.read_errors").Inc()
+		}
+	}
+	m.Counter("corpus.records").Add(int64(stats.TotalRecords()))
+	m.Counter("corpus.records_skipped").Add(int64(stats.TotalSkipped()))
+	for reason, n := range stats.ReasonTotals() {
+		m.Counter("corpus.skip." + reason).Add(int64(n))
+	}
+}
 
 // FileStats is the degraded-mode accounting for one NDJSON file.
 type FileStats struct {
@@ -329,13 +381,22 @@ func (st *ReadStats) ReasonTotals() map[string]int {
 
 // DominantReason returns the skip reason that dropped the most records
 // across the snapshot (ties broken alphabetically) and its count;
-// ("", 0) when nothing was skipped.
+// ("", 0) when nothing was skipped. Reduced-coverage reports quote this
+// verbatim, so the selection must not depend on map iteration order:
+// the reasons are walked in sorted order and a later reason wins only
+// on a strictly larger count.
 func (st *ReadStats) DominantReason() (string, int) {
+	totals := st.ReasonTotals()
+	reasons := make([]string, 0, len(totals))
+	for r := range totals {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
 	var reason string
 	var max int
-	for r, n := range st.ReasonTotals() {
-		if n > max || (n == max && max > 0 && r < reason) {
-			reason, max = r, n
+	for _, r := range reasons {
+		if totals[r] > max {
+			reason, max = r, totals[r]
 		}
 	}
 	return reason, max
@@ -385,23 +446,7 @@ func Read(root string, vendor Vendor, s timeline.Snapshot) (*Snapshot, error) {
 func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOptions) (snap *Snapshot, stats *ReadStats, err error) {
 	start := time.Now()
 	stats = &ReadStats{}
-	defer func() {
-		m := opts.Metrics
-		m.Histogram("corpus.read_ns").Since(start)
-		m.Counter("corpus.reads").Inc()
-		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				m.Counter("corpus.read_missing").Inc() // months the vendor doesn't cover
-			} else {
-				m.Counter("corpus.read_errors").Inc()
-			}
-		}
-		m.Counter("corpus.records").Add(int64(stats.TotalRecords()))
-		m.Counter("corpus.records_skipped").Add(int64(stats.TotalSkipped()))
-		for reason, n := range stats.ReasonTotals() {
-			m.Counter("corpus.skip." + reason).Add(int64(n))
-		}
-	}()
+	defer func() { recordReadMetrics(opts.Metrics, start, stats, err) }()
 	dir := Dir(root, vendor, s)
 	snap = &Snapshot{Vendor: vendor, Snapshot: s}
 	interned := make(map[certmodel.Fingerprint]*certmodel.Certificate)
@@ -417,7 +462,7 @@ func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOpt
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		errs[0] = readNDJSONFile(filepath.Join(dir, certFS.Name), opts, certFS, certLineDecoder(snap, interned))
+		errs[0] = readNDJSONFile(filepath.Join(dir, certFS.Name), opts, certFS, certLineDecoder(snap, interned, make(strTable)))
 	}()
 	go func() {
 		defer wg.Done()
@@ -436,29 +481,59 @@ func ReadWithStats(root string, vendor Vendor, s timeline.Snapshot, opts ReadOpt
 	return snap, stats, nil
 }
 
-// certLineDecoder decodes one certs.ndjson.gz line into snap, interning
-// repeated intermediates/roots by fingerprint.
-func certLineDecoder(snap *Snapshot, interned map[certmodel.Fingerprint]*certmodel.Certificate) func([]byte) error {
-	return func(line []byte) error {
-		var w wireCertRecord
-		if err := json.Unmarshal(line, &w); err != nil {
-			return badRecord("json", err)
-		}
-		ip, err := netmodel.ParseIP(w.IP)
-		if err != nil {
-			return badRecord("ip", err)
-		}
-		rec := CertRecord{IP: ip}
-		for i := range w.Chain {
-			c := fromWireCert(w.Chain[i])
-			if i > 0 { // intermediates and roots repeat heavily
-				if known, ok := interned[c.Fingerprint()]; ok {
-					c = known
-				} else {
-					interned[c.Fingerprint()] = c
-				}
+// decodeCertRecord decodes one certs.ndjson.gz line, interning repeated
+// intermediates/roots by fingerprint and repeated strings via strs. It
+// is the single decode routine behind both the materializing and the
+// chunked read paths, so the two can never disagree on what counts as
+// a malformed record.
+func decodeCertRecord(line []byte, interned map[certmodel.Fingerprint]*certmodel.Certificate, strs strTable) (CertRecord, error) {
+	var w wireCertRecord
+	if err := json.Unmarshal(line, &w); err != nil {
+		return CertRecord{}, badRecord("json", err)
+	}
+	ip, err := netmodel.ParseIP(w.IP)
+	if err != nil {
+		return CertRecord{}, badRecord("ip", err)
+	}
+	rec := CertRecord{IP: ip, Chain: make(certmodel.Chain, 0, len(w.Chain))}
+	for i := range w.Chain {
+		c := fromWireCert(w.Chain[i], strs)
+		if i > 0 { // intermediates and roots repeat heavily
+			if known, ok := interned[c.Fingerprint()]; ok {
+				c = known
+			} else {
+				interned[c.Fingerprint()] = c
 			}
-			rec.Chain = append(rec.Chain, c)
+		}
+		rec.Chain = append(rec.Chain, c)
+	}
+	return rec, nil
+}
+
+// decodeHeaderRecord decodes one header-file line, interning repeated
+// header names and values via strs.
+func decodeHeaderRecord(line []byte, strs strTable) (HeaderRecord, error) {
+	var w wireHeaderRecord
+	if err := json.Unmarshal(line, &w); err != nil {
+		return HeaderRecord{}, badRecord("json", err)
+	}
+	ip, err := netmodel.ParseIP(w.IP)
+	if err != nil {
+		return HeaderRecord{}, badRecord("ip", err)
+	}
+	for i := range w.Headers {
+		w.Headers[i].Name = strs.intern(w.Headers[i].Name)
+		w.Headers[i].Value = strs.intern(w.Headers[i].Value)
+	}
+	return HeaderRecord{IP: ip, Headers: w.Headers}, nil
+}
+
+// certLineDecoder appends decoded cert records to snap.
+func certLineDecoder(snap *Snapshot, interned map[certmodel.Fingerprint]*certmodel.Certificate, strs strTable) func([]byte) error {
+	return func(line []byte) error {
+		rec, err := decodeCertRecord(line, interned, strs)
+		if err != nil {
+			return err
 		}
 		snap.Certs = append(snap.Certs, rec)
 		return nil
@@ -467,24 +542,16 @@ func certLineDecoder(snap *Snapshot, interned map[certmodel.Fingerprint]*certmod
 
 func readHeaderFile(path string, opts ReadOptions, fs *FileStats) ([]HeaderRecord, error) {
 	var out []HeaderRecord
-	err := readNDJSONFile(path, opts, fs, headerLineDecoder(&out))
-	return out, err
-}
-
-// headerLineDecoder decodes one header-file line into out.
-func headerLineDecoder(out *[]HeaderRecord) func([]byte) error {
-	return func(line []byte) error {
-		var w wireHeaderRecord
-		if err := json.Unmarshal(line, &w); err != nil {
-			return badRecord("json", err)
+	strs := make(strTable)
+	err := readNDJSONFile(path, opts, fs, func(line []byte) error {
+		rec, derr := decodeHeaderRecord(line, strs)
+		if derr != nil {
+			return derr
 		}
-		ip, err := netmodel.ParseIP(w.IP)
-		if err != nil {
-			return badRecord("ip", err)
-		}
-		*out = append(*out, HeaderRecord{IP: ip, Headers: w.Headers})
+		out = append(out, rec)
 		return nil
-	}
+	})
+	return out, err
 }
 
 func readNDJSONFile(path string, opts ReadOptions, fs *FileStats, decode func([]byte) error) (err error) {
@@ -531,8 +598,23 @@ func decodeNDJSON(r io.Reader, name string, opts ReadOptions, fs *FileStats, dec
 	br := bufio.NewReaderSize(r, 1<<16)
 	for lineNo := 1; ; lineNo++ {
 		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			// Stream-level damage (flate corruption, a truncated or
+			// checksum-failing gzip trailer). Any bytes in hand are the
+			// undecodable tail of a broken stream: decoding them would
+			// misfile the damage as a per-record skip — and with a tight
+			// budget, report ErrBudgetExceeded instead of the truncation.
+			return fmt.Errorf("corpus: reading %s: %w", name, rerr)
+		}
 		if rec := bytes.TrimSpace(line); len(rec) > 0 {
 			if derr := decode(rec); derr != nil {
+				var abort *yieldError
+				if errors.As(derr, &abort) {
+					// A stream consumer rejected a yielded batch. That is
+					// not record damage: it must neither count against the
+					// error budget nor be dressed up as a decode failure.
+					return abort.err
+				}
 				if !opts.Tolerant {
 					return fmt.Errorf("corpus: decoding %s line %d: %w", name, lineNo, derr)
 				}
@@ -551,9 +633,6 @@ func decodeNDJSON(r io.Reader, name string, opts ReadOptions, fs *FileStats, dec
 				return fmt.Errorf("%w: %s (%s)", ErrBudgetExceeded, name, fs)
 			}
 			return nil
-		}
-		if rerr != nil {
-			return fmt.Errorf("corpus: reading %s: %w", name, rerr)
 		}
 	}
 }

@@ -1,0 +1,345 @@
+package corpus
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"offnetscope/internal/obs"
+)
+
+// drainStream consumes all three files of a stream, materializing the
+// batches (copying them, per the reuse contract) and returning the
+// per-file errors in fixed file order.
+func drainStream(st *Stream) (certs []CertRecord, https, http []HeaderRecord, errs [3]error) {
+	errs[0] = st.Certs(func(batch []CertRecord) error {
+		certs = append(certs, batch...)
+		return nil
+	})
+	errs[1] = st.HTTPS(func(batch []HeaderRecord) error {
+		https = append(https, batch...)
+		return nil
+	})
+	errs[2] = st.HTTP(func(batch []HeaderRecord) error {
+		http = append(http, batch...)
+		return nil
+	})
+	return
+}
+
+// OpenStream must reproduce the materializing read exactly — records in
+// order, identical stats, identical corpus.* counters — at any chunk
+// size, including sizes that split records mid-file and a chunk larger
+// than the file.
+func TestOpenStreamMatchesRead(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	wantReg := obs.NewRegistry("want")
+	want, wantStats, err := ReadWithStats(root, Rapid7, snap.Snapshot, ReadOptions{Metrics: wantReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 7, 0, 1 << 20} {
+		reg := obs.NewRegistry("got")
+		st, err := OpenStream(root, Rapid7, snap.Snapshot, ReadOptions{Metrics: reg, ChunkSize: chunk})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		certs, https, http, errs := drainStream(st)
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("chunk=%d file %d: %v", chunk, i, e)
+			}
+		}
+		if !sameCertRecords(want.Certs, certs) {
+			t.Fatalf("chunk=%d: cert records diverged (%d vs %d)", chunk, len(certs), len(want.Certs))
+		}
+		for name, pair := range map[string][2][]HeaderRecord{
+			"https": {want.HTTPS, https},
+			"http":  {want.HTTP, http},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("chunk=%d: %s record count %d, want %d", chunk, name, len(pair[1]), len(pair[0]))
+			}
+			for i := range pair[0] {
+				if pair[0][i].IP != pair[1][i].IP || len(pair[0][i].Headers) != len(pair[1][i].Headers) {
+					t.Fatalf("chunk=%d: %s record %d diverged", chunk, name, i)
+				}
+			}
+		}
+		for i, fs := range wantStats.Files {
+			if !sameFileStats(fs, st.Stats.Files[i]) {
+				t.Fatalf("chunk=%d: stats for %s diverged: %s vs %s", chunk, fs.Name, st.Stats.Files[i], fs)
+			}
+		}
+		got, wantCtrs := reg.Snapshot().Counters, wantReg.Snapshot().Counters
+		if len(got) != len(wantCtrs) {
+			t.Fatalf("chunk=%d: counter sets diverged: %v vs %v", chunk, got, wantCtrs)
+		}
+		for name, v := range wantCtrs {
+			if got[name] != v {
+				t.Errorf("chunk=%d: counter %s = %d, want %d", chunk, name, got[name], v)
+			}
+		}
+	}
+}
+
+// A month the vendor doesn't cover fails OpenStream up front with
+// fs.ErrNotExist and books the same corpus.read_missing accounting the
+// materializing read does.
+func TestOpenStreamMissingMonth(t *testing.T) {
+	reg := obs.NewRegistry("got")
+	_, err := OpenStream(t.TempDir(), Rapid7, 3, ReadOptions{Metrics: reg})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+	s := reg.Snapshot()
+	if s.Counter("corpus.reads") != 1 || s.Counter("corpus.read_missing") != 1 {
+		t.Fatalf("missing-month accounting: %v", s.Counters)
+	}
+
+	// One file missing out of three counts the same way: the month is
+	// incomplete, so it is not covered.
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(Dir(root, Rapid7, snap.Snapshot), "https_headers.ndjson.gz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStream(root, Rapid7, snap.Snapshot, ReadOptions{}); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("partial month: err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// A consumer abort must surface verbatim from the consume function —
+// not dressed up as a decode error, not counted against the budget —
+// and the records yielded before the abort stay delivered.
+func TestOpenStreamConsumerAbort(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStream(root, Rapid7, snap.Snapshot, ReadOptions{Tolerant: true, MaxBadFraction: NoBudget, ChunkSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	batches := 0
+	err = st.Certs(func([]CertRecord) error {
+		if batches++; batches == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the consumer's own error", err)
+	}
+	if batches != 2 {
+		t.Fatalf("consumed %d batches after abort, want 2", batches)
+	}
+	fs := st.Stats.Files[0]
+	if fs.Skipped != 0 {
+		t.Fatalf("consumer abort was booked as %d skips", fs.Skipped)
+	}
+}
+
+// The chunked reader enforces the -max-bad budget at exactly the same
+// skip count as the slice-based reader, even though the per-file record
+// count is unknown up front: the boundary cases from
+// TestTolerantBudgetBoundary must behave identically through
+// readCertChunks at chunk sizes that straddle the failing record.
+func TestStreamBudgetBoundaryParity(t *testing.T) {
+	input := func(total, bad int) string {
+		var raw strings.Builder
+		for i := 0; i < total; i++ {
+			if i < bad {
+				raw.WriteString("bad json\n")
+			} else {
+				raw.WriteString(`{"ip":"1.2.3.4","chain":[]}` + "\n")
+			}
+		}
+		return raw.String()
+	}
+	for _, tc := range []struct {
+		name     string
+		opts     ReadOptions
+		total    int
+		bad      int
+		overflow bool
+	}{
+		{"exactly at explicit budget", ReadOptions{Tolerant: true, MaxBadFraction: 0.05}, 100, 5, false},
+		{"one record over explicit budget", ReadOptions{Tolerant: true, MaxBadFraction: 0.05}, 100, 6, true},
+		{"unset budget means 5% default", ReadOptions{Tolerant: true}, 100, 5, false},
+		{"unset budget still enforces the default", ReadOptions{Tolerant: true}, 100, 6, true},
+		{"NoBudget passes a clean file", ReadOptions{Tolerant: true, MaxBadFraction: NoBudget}, 100, 0, false},
+		{"NoBudget rejects a single skip", ReadOptions{Tolerant: true, MaxBadFraction: NoBudget}, 100, 1, true},
+		{"any negative value is zero tolerance", ReadOptions{Tolerant: true, MaxBadFraction: -0.5}, 100, 1, true},
+		{"strict mode fails on the first bad record", ReadOptions{}, 100, 1, true},
+	} {
+		raw := gzipped(t, input(tc.total, tc.bad))
+		_, wantFS, wantErr := decodeChunked(raw, tc.opts, 1<<20) // effectively unchunked
+		for _, chunk := range []int{1, 3, 7, 0} {
+			recs, fs, err := decodeChunked(raw, tc.opts, chunk)
+			if (err == nil) != (wantErr == nil) || (err != nil && err.Error() != wantErr.Error()) {
+				t.Errorf("%s chunk=%d: err = %v, want %v", tc.name, chunk, err, wantErr)
+			}
+			if tc.overflow && err == nil {
+				t.Errorf("%s chunk=%d: read accepted", tc.name, chunk)
+			}
+			if !tc.overflow {
+				if err != nil {
+					t.Errorf("%s chunk=%d: err = %v, want nil", tc.name, chunk, err)
+				}
+				if len(recs) != tc.total-tc.bad {
+					t.Errorf("%s chunk=%d: %d records, want %d", tc.name, chunk, len(recs), tc.total-tc.bad)
+				}
+			}
+			if !sameFileStats(fs, wantFS) {
+				t.Errorf("%s chunk=%d: stats %s, want %s", tc.name, chunk, fs, wantFS)
+			}
+		}
+	}
+}
+
+// Corruption landing exactly on a chunk boundary — the last record of
+// one batch and the first of the next both malformed — must account
+// identically at every chunk size.
+func TestStreamChunkBoundaryCorruption(t *testing.T) {
+	lines := make([]string, 0, 16)
+	for i := 0; i < 6; i++ {
+		lines = append(lines, `{"ip":"1.2.3.4","chain":[]}`)
+	}
+	lines = append(lines, "bad at batch close", "{bad at batch open")
+	for i := 0; i < 6; i++ {
+		lines = append(lines, `{"ip":"5.6.7.8","chain":[]}`)
+	}
+	raw := gzipped(t, strings.Join(lines, "\n")+"\n")
+	opts := ReadOptions{Tolerant: true, MaxBadFraction: 0.5}
+	want, wantFS, err := decodeChunked(raw, opts, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFS.Skipped != 2 || len(want) != 12 {
+		t.Fatalf("fixture drifted: %s", wantFS)
+	}
+	for _, chunk := range []int{1, 7, 0} { // 7 puts the first bad line at a batch close
+		recs, fs, err := decodeChunked(raw, opts, chunk)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !sameCertRecords(want, recs) || !sameFileStats(fs, wantFS) {
+			t.Fatalf("chunk=%d diverged: %s vs %s", chunk, fs, wantFS)
+		}
+	}
+}
+
+// A gzip stream whose trailer is truncated — the CRC can never be
+// verified — must fail the read in both strict and tolerant mode, on
+// both the materializing and the streaming path, and must never be
+// misfiled as a per-record skip or an ErrBudgetExceeded.
+func TestTruncatedGzipTrailer(t *testing.T) {
+	snap := sampleSnapshot(t)
+	root := t.TempDir()
+	if err := Write(root, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(Dir(root, Rapid7, snap.Snapshot), "certs.ndjson.gz")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gzip trailer is the final 8 bytes (CRC32 + ISIZE); cutting
+	// into it leaves every record intact but the checksum unprovable.
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []ReadOptions{
+		{},
+		{Tolerant: true},
+		{Tolerant: true, MaxBadFraction: NoBudget},
+	} {
+		_, _, err := ReadWithStats(root, Rapid7, snap.Snapshot, opts)
+		if err == nil {
+			t.Fatalf("materializing read (tolerant=%v) accepted a truncated trailer", opts.Tolerant)
+		}
+		if errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("materializing read misfiled truncation as budget: %v", err)
+		}
+
+		st, oerr := OpenStream(root, Rapid7, snap.Snapshot, opts)
+		if oerr != nil {
+			t.Fatal(oerr)
+		}
+		_, _, _, errs := drainStream(st)
+		if errs[0] == nil {
+			t.Fatalf("stream read (tolerant=%v) accepted a truncated trailer", opts.Tolerant)
+		}
+		if errors.Is(errs[0], ErrBudgetExceeded) {
+			t.Fatalf("stream read misfiled truncation as budget: %v", errs[0])
+		}
+		if st.Stats.Files[0].Skipped != 0 {
+			t.Fatalf("truncation was booked as %d record skips", st.Stats.Files[0].Skipped)
+		}
+	}
+}
+
+// DominantReason must be byte-identical run to run: with tied counts
+// the lexicographically smallest reason wins, regardless of map
+// iteration order. Run many shuffled constructions to catch an
+// order-dependent implementation.
+func TestDominantReasonTieBreak(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		st := &ReadStats{}
+		fs := st.file("certs.ndjson.gz") // fresh map each round: new iteration order
+		fs.skip("json")
+		fs.skip("ip")
+		fs.skip("decode")
+		reason, n := st.DominantReason()
+		if reason != "decode" || n != 1 {
+			t.Fatalf("round %d: DominantReason = %q/%d, want decode/1", i, reason, n)
+		}
+	}
+	// A tie split across files folds first, then tie-breaks.
+	st := &ReadStats{}
+	st.file("a").skip("zz")
+	st.file("a").skip("zz")
+	b := st.file("b")
+	b.skip("aa")
+	b.skip("aa")
+	if reason, n := st.DominantReason(); reason != "aa" || n != 2 {
+		t.Fatalf("cross-file tie: %q/%d, want aa/2", reason, n)
+	}
+}
+
+// StreamOf reproduces the snapshot it wraps, in order, at any chunk
+// size — it is the zero-copy bridge that lets scanner output drive the
+// streaming pipeline.
+func TestStreamOfRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	for _, chunk := range []int{1, 7, 0, 1 << 20} {
+		st := StreamOf(snap, chunk)
+		if st.ScanTime() != snap.ScanTime() {
+			t.Fatalf("chunk=%d: ScanTime diverged", chunk)
+		}
+		certs, https, http, errs := drainStream(st)
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("chunk=%d file %d: %v", chunk, i, e)
+			}
+		}
+		if !sameCertRecords(snap.Certs, certs) || len(https) != len(snap.HTTPS) || len(http) != len(snap.HTTP) {
+			t.Fatalf("chunk=%d: round trip diverged", chunk)
+		}
+	}
+}

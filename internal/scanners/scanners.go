@@ -147,6 +147,111 @@ func Scan(w *worldsim.World, p Profile, s timeline.Snapshot) *corpus.Snapshot {
 	return snap
 }
 
+// ScanStream sweeps the world at snapshot s like Scan, but exposes the
+// result as a corpus.Stream of chunked record batches instead of a
+// materialized Snapshot: records are synthesized during consumption, so
+// a month's corpus never exists in memory all at once. The certs pass
+// walks the cheap header-free enumeration (worldsim.CertHosts); the
+// header passes run the full one only when the profile actually
+// collects headers at s. Record order and filtering are identical to
+// Scan's, making the streamed corpus byte-equivalent at any chunk size.
+// Like Scan, it returns nil when the vendor has no data for the month.
+func ScanStream(w *worldsim.World, p Profile, s timeline.Snapshot, chunk int) *corpus.Stream {
+	if !p.Available(s) {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = corpus.DefaultChunkSize
+	}
+	wantHTTPS := !p.NoHeaders && s >= p.HTTPSHeadersFrom
+	wantHTTP := !p.NoHeaders && s >= p.HTTPHeadersFrom
+	st := &corpus.Stream{Vendor: p.Vendor, Snapshot: s}
+	st.Certs = func(yield func([]corpus.CertRecord) error) error {
+		cy := newChunkYielder(chunk, yield)
+		w.CertHosts(s, func(h *worldsim.Host) bool {
+			if _, isOnNet := w.HGOfOnNetAS(h.TrueAS); !isOnNet && p.excluded(h.TrueAS, s) {
+				return true
+			}
+			if h.HTTPSUp && h.Chain != nil && !p.dropped(h.IP, s, 443) {
+				return cy.add(corpus.CertRecord{IP: h.IP, Chain: h.Chain})
+			}
+			return true
+		})
+		return cy.finish()
+	}
+	st.HTTPS = func(yield func([]corpus.HeaderRecord) error) error {
+		if !wantHTTPS {
+			return nil
+		}
+		cy := newChunkYielder(chunk, yield)
+		w.Hosts(s, func(h *worldsim.Host) bool {
+			if _, isOnNet := w.HGOfOnNetAS(h.TrueAS); !isOnNet && p.excluded(h.TrueAS, s) {
+				return true
+			}
+			if h.HTTPSUp && h.HTTPSHeaders != nil && !p.dropped(h.IP, s, 443) {
+				return cy.add(corpus.HeaderRecord{IP: h.IP, Headers: h.HTTPSHeaders})
+			}
+			return true
+		})
+		return cy.finish()
+	}
+	st.HTTP = func(yield func([]corpus.HeaderRecord) error) error {
+		if !wantHTTP {
+			return nil
+		}
+		cy := newChunkYielder(chunk, yield)
+		w.Hosts(s, func(h *worldsim.Host) bool {
+			if _, isOnNet := w.HGOfOnNetAS(h.TrueAS); !isOnNet && p.excluded(h.TrueAS, s) {
+				return true
+			}
+			if h.HTTPUp && !p.dropped(h.IP, s, 80) {
+				return cy.add(corpus.HeaderRecord{IP: h.IP, Headers: h.HTTPHeaders})
+			}
+			return true
+		})
+		return cy.finish()
+	}
+	return st
+}
+
+// chunkYielder accumulates records into one reused batch buffer and
+// forwards every full batch to yield, honouring the corpus.Stream
+// batch-reuse contract.
+type chunkYielder[T any] struct {
+	batch []T
+	yield func([]T) error
+	err   error
+}
+
+func newChunkYielder[T any](chunk int, yield func([]T) error) *chunkYielder[T] {
+	return &chunkYielder[T]{batch: make([]T, 0, chunk), yield: yield}
+}
+
+// add appends one record, flushing at the chunk size; false means a
+// yield failed and enumeration must stop.
+func (c *chunkYielder[T]) add(rec T) bool {
+	c.batch = append(c.batch, rec)
+	if len(c.batch) == cap(c.batch) {
+		if c.err = c.yield(c.batch); c.err != nil {
+			return false
+		}
+		c.batch = c.batch[:0]
+	}
+	return true
+}
+
+// finish flushes the trailing partial batch and reports the stream's
+// error, if any yield returned one.
+func (c *chunkYielder[T]) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.batch) > 0 {
+		return c.yield(c.batch)
+	}
+	return nil
+}
+
 // ProbeResult is one ZGrab2-style targeted grab: TLS with explicit SNI
 // plus an HTTP GET with the matching Host header (§5's active
 // validation).

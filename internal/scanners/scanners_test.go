@@ -1,9 +1,12 @@
 package scanners
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"offnetscope/internal/astopo"
+	"offnetscope/internal/corpus"
 	"offnetscope/internal/hg"
 	"offnetscope/internal/netmodel"
 	"offnetscope/internal/timeline"
@@ -67,6 +70,94 @@ func TestScanDeterministic(t *testing.T) {
 		if a.Certs[i].IP != b.Certs[i].IP {
 			t.Fatal("record order differs")
 		}
+	}
+}
+
+// TestScanStreamMatchesScan pins the streamed scan to the materialized
+// one: same records, same order, at any chunk size, for every profile —
+// including months where a vendor collects no headers (empty streams)
+// and none at all (nil).
+func TestScanStreamMatchesScan(t *testing.T) {
+	cases := []struct {
+		profile Profile
+		s       timeline.Snapshot
+	}{
+		{Rapid7Profile(), 5},  // certs + HTTP only (pre-2016-07)
+		{Rapid7Profile(), 15}, // all three record kinds
+		{CensysProfile(), 25},
+		{CertigoProfile(), 24}, // no headers at all
+	}
+	for _, tc := range cases {
+		snap := Scan(testWorld, tc.profile, tc.s)
+		for _, chunk := range []int{1, 7, 0} {
+			st := ScanStream(testWorld, tc.profile, tc.s, chunk)
+			if st == nil {
+				t.Fatalf("%s s=%d: stream is nil where scan is not", tc.profile.Vendor, tc.s)
+			}
+			if st.Vendor != snap.Vendor || st.Snapshot != snap.Snapshot {
+				t.Fatalf("%s s=%d: stream identity mismatch", tc.profile.Vendor, tc.s)
+			}
+			var certs []corpus.CertRecord
+			if err := st.Certs(func(b []corpus.CertRecord) error {
+				certs = append(certs, b...)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(certs) != len(snap.Certs) {
+				t.Fatalf("%s s=%d chunk=%d: %d streamed certs vs %d scanned", tc.profile.Vendor, tc.s, chunk, len(certs), len(snap.Certs))
+			}
+			for i := range certs {
+				if certs[i].IP != snap.Certs[i].IP {
+					t.Fatalf("%s s=%d chunk=%d: cert record %d IP differs", tc.profile.Vendor, tc.s, chunk, i)
+				}
+				if certs[i].Chain.Leaf().Fingerprint() != snap.Certs[i].Chain.Leaf().Fingerprint() {
+					t.Fatalf("%s s=%d chunk=%d: cert record %d chain differs", tc.profile.Vendor, tc.s, chunk, i)
+				}
+			}
+			checkHeaders := func(name string, want []corpus.HeaderRecord, consume func(func([]corpus.HeaderRecord) error) error) {
+				var got []corpus.HeaderRecord
+				if err := consume(func(b []corpus.HeaderRecord) error {
+					got = append(got, b...)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s s=%d chunk=%d: %d streamed %s records vs %d scanned", tc.profile.Vendor, tc.s, chunk, len(got), name, len(want))
+				}
+				for i := range got {
+					if got[i].IP != want[i].IP || !reflect.DeepEqual(got[i].Headers, want[i].Headers) {
+						t.Fatalf("%s s=%d chunk=%d: %s record %d differs", tc.profile.Vendor, tc.s, chunk, name, i)
+					}
+				}
+			}
+			checkHeaders("https", snap.HTTPS, st.HTTPS)
+			checkHeaders("http", snap.HTTP, st.HTTP)
+		}
+	}
+	if ScanStream(testWorld, CensysProfile(), 10, 0) != nil {
+		t.Error("stream must be nil for uncovered months, like Scan")
+	}
+}
+
+// TestScanStreamAbort pins the yield-error contract: a consumer error
+// stops enumeration and comes back verbatim.
+func TestScanStreamAbort(t *testing.T) {
+	boom := errors.New("boom")
+	st := ScanStream(testWorld, Rapid7Profile(), 15, 1)
+	batches := 0
+	err := st.Certs(func([]corpus.CertRecord) error {
+		if batches++; batches == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want the consumer's error verbatim", err)
+	}
+	if batches != 2 {
+		t.Fatalf("enumeration continued after the abort: %d batches", batches)
 	}
 }
 

@@ -42,6 +42,44 @@ func hstr(s string) uint64 {
 	return h
 }
 
+// chainKey identifies one cacheable minted chain by the raw inputs that
+// fully determine its bytes: the mint site plus that site's packed
+// parameters. Two calls with equal keys must produce equal chains — the
+// cache turns that equality into pointer sharing, so repeated scans of
+// the same certificate never re-mint (or re-allocate) it.
+type chainKey struct {
+	site    uint8 // which mint site: siteHGGroup, siteCFCustomer, siteBackground
+	a, b, c uint64
+}
+
+const (
+	siteHGGroup uint8 = iota + 1
+	siteCFCustomer
+	siteBackground
+)
+
+// cachedChain returns the chain for k, minting it at most effectively
+// once. mint runs outside the lock; a concurrent duplicate mint is
+// harmless because equal keys mint equal chains, and the first insert
+// wins so all callers share one value.
+func (w *World) cachedChain(k chainKey, mint func() certmodel.Chain) certmodel.Chain {
+	w.certMu.RLock()
+	ch, ok := w.chains[k]
+	w.certMu.RUnlock()
+	if ok {
+		return ch
+	}
+	ch = mint()
+	w.certMu.Lock()
+	if prev, ok := w.chains[k]; ok {
+		ch = prev
+	} else {
+		w.chains[k] = ch
+	}
+	w.certMu.Unlock()
+	return ch
+}
+
 // certEpoch anchors renewal periods.
 var certEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
 
@@ -161,25 +199,31 @@ func (w *World) hgGroupCert(id hg.ID, g int, s timeline.Snapshot) certmodel.Chai
 	h := hg.Get(id)
 	st := strategies[id]
 	lifetime := int(interpolate(st.certLifetimeDays, s))
+	if lifetime <= 0 {
+		lifetime = 365 // keep the cache key aligned with certWindow's default
+	}
 	nb, na, period := certWindow(lifetime, s.MidTime())
-	dns := groupDomains(h, g)
-	key := w.h(uint64(id), uint64(g), period, hstr("hg-group-cert"))
-	return w.mintChain(key, subjectOrg(h, s), dns[0], dns, nb, na, mintTrusted)
+	// Beyond (group, period, lifetime), the chain depends on s only
+	// through subjectOrg's rename era — fold that one bit into the key.
+	var era uint64
+	if len(h.OrgNames) > 1 && s >= 14 {
+		era = 1
+	}
+	k := chainKey{site: siteHGGroup, a: uint64(id), b: uint64(g), c: period<<32 | uint64(lifetime)<<1 | era}
+	return w.cachedChain(k, func() certmodel.Chain {
+		dns := groupDomains(h, g)
+		key := w.h(uint64(id), uint64(g), period, hstr("hg-group-cert"))
+		return w.mintChain(key, subjectOrg(h, s), dns[0], dns, nb, na, mintTrusted)
+	})
 }
 
 // expiredNetflixCert is the frozen certificate a share of Netflix
 // off-nets kept serving between 2017-04 and 2019-07 (§6.2): it is the
-// group certificate as minted in early 2017, so its NotAfter falls
-// before later scan times.
+// group certificate exactly as minted at snapshot 13 (2017-01, the last
+// renewal before the era), so its NotAfter falls before later scan
+// times.
 func (w *World) expiredNetflixCert(g int) certmodel.Chain {
-	h := hg.Get(hg.Netflix)
-	frozen := timeline.Snapshot(13) // 2017-01, the last renewal before the era
-	st := strategies[hg.Netflix]
-	lifetime := int(interpolate(st.certLifetimeDays, frozen))
-	nb, na, period := certWindow(lifetime, frozen.MidTime())
-	dns := groupDomains(h, g)
-	key := w.h(uint64(hg.Netflix), uint64(g), period, hstr("hg-group-cert"))
-	return w.mintChain(key, subjectOrg(h, frozen), dns[0], dns, nb, na, mintTrusted)
+	return w.hgGroupCert(hg.Netflix, g, 13)
 }
 
 // Cloudflare customer certificates (§7). Universal certificates carry a
@@ -214,21 +258,24 @@ func (w *World) cfCustomerKindOf(as uint64) cfCustomerKind {
 // cfCustomerCert mints the certificate Cloudflare issued to the customer
 // hosted in AS as, current at snapshot s.
 func (w *World) cfCustomerCert(as uint64, s timeline.Snapshot) certmodel.Chain {
-	kind := w.cfCustomerKindOf(as)
 	nb, na, period := certWindow(365, s.MidTime())
-	id := w.h(as, hstr("cf-cust-id")) % 100000
-	customer := fmt.Sprintf("*.customer-%d.example", id)
-	var dns []string
-	switch kind {
-	case cfUniversal:
-		dns = []string{fmt.Sprintf("sni%d.cloudflaressl.com", id), customer}
-	case cfUniversalOdd:
-		dns = []string{fmt.Sprintf("cust-%d.cloudflaressl.com", id), customer}
-	default:
-		dns = []string{customer, fmt.Sprintf("secure.customer-%d.example", id)}
-	}
-	key := w.h(as, period, hstr("cf-cust-cert"))
-	return w.mintChain(key, "Cloudflare, Inc.", dns[0], dns, nb, na, mintTrusted)
+	// Everything else (kind, customer id) derives from as alone.
+	return w.cachedChain(chainKey{site: siteCFCustomer, a: as, b: period}, func() certmodel.Chain {
+		kind := w.cfCustomerKindOf(as)
+		id := w.h(as, hstr("cf-cust-id")) % 100000
+		customer := fmt.Sprintf("*.customer-%d.example", id)
+		var dns []string
+		switch kind {
+		case cfUniversal:
+			dns = []string{fmt.Sprintf("sni%d.cloudflaressl.com", id), customer}
+		case cfUniversalOdd:
+			dns = []string{fmt.Sprintf("cust-%d.cloudflaressl.com", id), customer}
+		default:
+			dns = []string{customer, fmt.Sprintf("secure.customer-%d.example", id)}
+		}
+		key := w.h(as, period, hstr("cf-cust-cert"))
+		return w.mintChain(key, "Cloudflare, Inc.", dns[0], dns, nb, na, mintTrusted)
+	})
 }
 
 // backgroundOrgPool supplies organization names for unrelated hosts.
@@ -238,35 +285,67 @@ var backgroundOrgPool = []string{
 	"Wayne Digital", "Tyrell Hosting", "Cyberdyne Net", "Aperture Online",
 }
 
+// bgName is a background host's period-free naming material: the name
+// strings are pure functions of the host key, so they are memoized
+// separately from the chains — a host renewing into a new period reuses
+// its names instead of re-rendering them.
+type bgName struct {
+	site string
+	dns  []string
+}
+
+func (w *World) bgNameOf(key uint64) bgName {
+	w.nameMu.RLock()
+	n, ok := w.bgNames[key]
+	w.nameMu.RUnlock()
+	if ok {
+		return n
+	}
+	site := fmt.Sprintf("www.site-%d.example", key%1000000)
+	n = bgName{site: site, dns: []string{site, "*.site-" + fmt.Sprint(key%1000000) + ".example"}}
+	w.nameMu.Lock()
+	if prev, ok := w.bgNames[key]; ok {
+		n = prev
+	} else {
+		w.bgNames[key] = n
+	}
+	w.nameMu.Unlock()
+	return n
+}
+
 // backgroundCert mints the default certificate of an unrelated TLS host.
 // class encodes the §4.1 validity mix.
 func (w *World) backgroundCert(key uint64, class hostClass, s timeline.Snapshot) certmodel.Chain {
-	org := backgroundOrgPool[key%uint64(len(backgroundOrgPool))]
-	site := fmt.Sprintf("www.site-%d.example", key%1000000)
-	dns := []string{site, "*.site-" + fmt.Sprint(key%1000000) + ".example"}
 	nb, na, period := certWindow(365, s.MidTime())
-	switch class {
-	case classExpired:
-		// A certificate from two renewal periods ago: expired at scan time.
-		old := certEpoch.AddDate(0, 0, int(period-2)*365)
-		return w.mintChain(w.h(key, period-2), org, site, dns, old, old.AddDate(0, 0, 365), mintTrusted)
-	case classSelfSigned:
-		return w.mintChain(w.h(key, period), org, site, dns, nb, na, mintSelfSigned)
-	case classUntrusted:
-		return w.mintChain(w.h(key, period), org, site, dns, nb, na, mintUntrusted)
-	case classImposter:
-		// Anyone can self-sign a certificate claiming to be a hypergiant.
-		imp := hg.All()[key%uint64(hg.Count)]
-		return w.mintChain(w.h(key, period), imp.OrgNames[0], imp.Domains[0], imp.Domains[:1], nb, na, mintSelfSigned)
-	case classSharedCert:
-		// A valid CA-signed certificate shared between a hypergiant and a
-		// partner: carries the HG's organization and one HG domain plus
-		// the partner's own domain. The dNSName-subset rule must reject
-		// these candidates (§4.3).
-		own := hg.All()[key%uint64(hg.Count)]
-		dns := []string{own.Domains[0], fmt.Sprintf("*.partner-%d.example", key%10000)}
-		return w.mintChain(w.h(key, period), own.OrgNames[len(own.OrgNames)-1], dns[1], dns, nb, na, mintTrusted)
-	default:
-		return w.mintChain(w.h(key, period), org, site, dns, nb, na, mintTrusted)
-	}
+	return w.cachedChain(chainKey{site: siteBackground, a: key, b: period, c: uint64(class)}, func() certmodel.Chain {
+		org := backgroundOrgPool[key%uint64(len(backgroundOrgPool))]
+		switch class {
+		case classExpired:
+			// A certificate from two renewal periods ago: expired at scan time.
+			n := w.bgNameOf(key)
+			old := certEpoch.AddDate(0, 0, int(period-2)*365)
+			return w.mintChain(w.h(key, period-2), org, n.site, n.dns, old, old.AddDate(0, 0, 365), mintTrusted)
+		case classSelfSigned:
+			n := w.bgNameOf(key)
+			return w.mintChain(w.h(key, period), org, n.site, n.dns, nb, na, mintSelfSigned)
+		case classUntrusted:
+			n := w.bgNameOf(key)
+			return w.mintChain(w.h(key, period), org, n.site, n.dns, nb, na, mintUntrusted)
+		case classImposter:
+			// Anyone can self-sign a certificate claiming to be a hypergiant.
+			imp := hg.All()[key%uint64(hg.Count)]
+			return w.mintChain(w.h(key, period), imp.OrgNames[0], imp.Domains[0], imp.Domains[:1], nb, na, mintSelfSigned)
+		case classSharedCert:
+			// A valid CA-signed certificate shared between a hypergiant and a
+			// partner: carries the HG's organization and one HG domain plus
+			// the partner's own domain. The dNSName-subset rule must reject
+			// these candidates (§4.3).
+			own := hg.All()[key%uint64(hg.Count)]
+			dns := []string{own.Domains[0], fmt.Sprintf("*.partner-%d.example", key%10000)}
+			return w.mintChain(w.h(key, period), own.OrgNames[len(own.OrgNames)-1], dns[1], dns, nb, na, mintTrusted)
+		default:
+			n := w.bgNameOf(key)
+			return w.mintChain(w.h(key, period), org, n.site, n.dns, nb, na, mintTrusted)
+		}
+	})
 }

@@ -338,27 +338,32 @@ func bgClass(key uint64) hostClass {
 
 // --- state construction ---
 
-// build fills host with the observable state of hid at snapshot s.
-func (w *World) build(hid hostID, s timeline.Snapshot, host *Host) {
+// build fills host with the observable state of hid at snapshot s. With
+// withHeaders false the header fields stay nil — everything else
+// (reachability, chains) is built identically, so a certs-only consumer
+// skips the header synthesis cost without changing what it observes.
+func (w *World) build(hid hostID, s timeline.Snapshot, host *Host, withHeaders bool) {
 	*host = Host{IP: hid.ip, TrueAS: hid.as, HTTPSUp: true, HTTPUp: true}
 	switch hid.kind {
 	case kindOnNet:
-		w.buildOnNet(hid, s, host)
+		w.buildOnNet(hid, s, host, withHeaders)
 	case kindOffNet:
-		w.buildOffNet(hid, s, host)
+		w.buildOffNet(hid, s, host, withHeaders)
 	case kindService:
-		w.buildService(hid, s, host)
+		w.buildService(hid, s, host, withHeaders)
 	default:
-		w.buildBackground(hid, s, host)
+		w.buildBackground(hid, s, host, withHeaders)
 	}
 }
 
-func (w *World) buildOnNet(hid hostID, s timeline.Snapshot, host *Host) {
+func (w *World) buildOnNet(hid hostID, s timeline.Snapshot, host *Host, withHeaders bool) {
 	id := hid.owner
 	st := strategies[id]
 	key := w.h(uint64(id), uint64(hid.as), uint64(hid.idx), hstr("onnet"))
-	host.HTTPSHeaders = hgServerHeaders(id, key)
-	host.HTTPHeaders = host.HTTPSHeaders
+	if withHeaders {
+		host.HTTPSHeaders = hgServerHeaders(id, key)
+		host.HTTPHeaders = host.HTTPSHeaders
+	}
 
 	// Cloudflare's edge also serves its customers' certificates, which
 	// is what makes the customer-origin copies pass the dNSName-subset
@@ -377,7 +382,7 @@ func (w *World) buildOnNet(hid hostID, s timeline.Snapshot, host *Host) {
 	host.Chain = w.hgGroupCert(id, pickGroup(st, s, mix64(key)), s)
 }
 
-func (w *World) buildOffNet(hid hostID, s timeline.Snapshot, host *Host) {
+func (w *World) buildOffNet(hid hostID, s timeline.Snapshot, host *Host, withHeaders bool) {
 	id := hid.owner
 	st := strategies[id]
 	key := w.h(uint64(id), uint64(hid.as), uint64(hid.idx), hstr("offnet"))
@@ -385,8 +390,10 @@ func (w *World) buildOffNet(hid hostID, s timeline.Snapshot, host *Host) {
 	if g >= st.certGroups {
 		g = 0
 	}
-	host.HTTPSHeaders = hgServerHeaders(id, key)
-	host.HTTPHeaders = host.HTTPSHeaders
+	if withHeaders {
+		host.HTTPSHeaders = hgServerHeaders(id, key)
+		host.HTTPHeaders = host.HTTPSHeaders
+	}
 	host.Chain = w.hgGroupCert(id, g, s)
 
 	// §8 hide-and-seek countermeasures, when enabled.
@@ -395,12 +402,13 @@ func (w *World) buildOffNet(hid hostID, s timeline.Snapshot, host *Host) {
 			host.Chain = nil
 		}
 		if hide.StripOrganization && host.Chain != nil {
+			// Clone before stripping: the cached chain is shared.
 			leaf := host.Chain.Leaf().Clone()
 			leaf.Subject.Organization = ""
 			stripped := append(certmodel.Chain{leaf}, host.Chain[1:]...)
 			host.Chain = stripped
 		}
-		if hide.AnonymizeHeaders {
+		if hide.AnonymizeHeaders && withHeaders {
 			host.HTTPSHeaders = genericHeaders(key)
 			host.HTTPHeaders = host.HTTPSHeaders
 		}
@@ -416,17 +424,22 @@ func (w *World) buildOffNet(hid hostID, s timeline.Snapshot, host *Host) {
 		case x < 868:
 			host.HTTPSUp = false
 			host.Chain = nil
-			host.HTTPHeaders = nginxHeaders(key)
+			if withHeaders {
+				host.HTTPHeaders = nginxHeaders(key)
+			}
 		}
 	}
 }
 
-func (w *World) buildService(hid hostID, s timeline.Snapshot, host *Host) {
+func (w *World) buildService(hid hostID, s timeline.Snapshot, host *Host, withHeaders bool) {
 	id := hid.owner
 	key := w.h(uint64(id), uint64(hid.as), uint64(hid.idx), hstr("service"))
 	if strategies[id].cloudflareIssuer {
 		// A Cloudflare customer's origin server.
 		host.Chain = w.cfCustomerCert(uint64(hid.as), s)
+		if !withHeaders {
+			return
+		}
 		if w.cfCustomerKindOf(uint64(hid.as)) == cfEnterprise {
 			// Enterprise origins run Cloudflare's tunnel daemon, whose
 			// responses look like Cloudflare itself.
@@ -443,6 +456,9 @@ func (w *World) buildService(hid hostID, s timeline.Snapshot, host *Host) {
 		g = 0
 	}
 	host.Chain = w.hgGroupCert(id, g, s)
+	if !withHeaders {
+		return
+	}
 	if hid.via != hg.None {
 		// Third-party CDN hardware: the edge CDN's headers dominate.
 		host.HTTPSHeaders = hgServerHeaders(hid.via, key)
@@ -464,13 +480,15 @@ func (w *World) buildService(hid hostID, s timeline.Snapshot, host *Host) {
 	host.HTTPHeaders = host.HTTPSHeaders
 }
 
-func (w *World) buildBackground(hid hostID, s timeline.Snapshot, host *Host) {
+func (w *World) buildBackground(hid hostID, s timeline.Snapshot, host *Host, withHeaders bool) {
 	key := w.h(uint64(hid.as), uint64(hid.idx), hstr("bg-host"))
 	host.Chain = w.backgroundCert(key, hid.class, s)
-	host.HTTPSHeaders = genericHeaders(key)
 	host.HTTPUp = key%10 < 7
-	if host.HTTPUp {
-		host.HTTPHeaders = host.HTTPSHeaders
+	if withHeaders {
+		host.HTTPSHeaders = genericHeaders(key)
+		if host.HTTPUp {
+			host.HTTPHeaders = host.HTTPSHeaders
+		}
 	}
 }
 
@@ -484,7 +502,7 @@ func (w *World) HostAt(ip netmodel.IP, s timeline.Snapshot) (Host, bool) {
 		return Host{}, false
 	}
 	var host Host
-	w.build(hid, s, &host)
+	w.build(hid, s, &host, true)
 	return host, true
 }
 
@@ -493,9 +511,22 @@ func (w *World) HostAt(ip netmodel.IP, s timeline.Snapshot) (Host, bool) {
 // it must outlive the callback. Enumeration stops early when yield
 // returns false.
 func (w *World) Hosts(s timeline.Snapshot, yield func(*Host) bool) {
+	w.hosts(s, true, yield)
+}
+
+// CertHosts enumerates the same hosts as Hosts, in the same order, but
+// skips header synthesis entirely: identity, reachability, and Chain
+// are identical to Hosts'; HTTPSHeaders and HTTPHeaders stay nil. It is
+// the cheap certificate-only view the streaming scanner's certs pass
+// consumes.
+func (w *World) CertHosts(s timeline.Snapshot, yield func(*Host) bool) {
+	w.hosts(s, false, yield)
+}
+
+func (w *World) hosts(s timeline.Snapshot, withHeaders bool, yield func(*Host) bool) {
 	var host Host
 	emit := func(hid hostID) bool {
-		w.build(hid, s, &host)
+		w.build(hid, s, &host, withHeaders)
 		return yield(&host)
 	}
 	// On-nets.
@@ -626,7 +657,7 @@ func (w *World) Probe(ip netmodel.IP, domain string, s timeline.Snapshot) ProbeR
 		return ProbeResult{}
 	}
 	var host Host
-	w.build(hid, s, &host)
+	w.build(hid, s, &host, true)
 	res := ProbeResult{Reachable: true, Chain: host.Chain, Headers: host.HTTPSHeaders}
 
 	// Which hypergiants' content does this server hold?

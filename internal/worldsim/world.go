@@ -54,6 +54,15 @@ type World struct {
 	mu       sync.Mutex
 	catCache map[timeline.Snapshot][]astopo.Category
 	ip2as    map[timeline.Snapshot]*bgpsim.IP2AS
+
+	// Minted-chain cache (certs.go): certificates are pure functions of
+	// their chainKey, so every holder of "the same" certificate shares
+	// one immutable Chain value instead of re-minting it per host per
+	// scan. bgNames memoizes background hosts' period-free name strings.
+	certMu  sync.RWMutex
+	chains  map[chainKey]certmodel.Chain
+	nameMu  sync.RWMutex
+	bgNames map[uint64]bgName
 }
 
 // New builds a world from cfg. Construction is deterministic in cfg.
@@ -68,6 +77,8 @@ func New(cfg Config) (*World, error) {
 		service:     make(map[hg.ID]map[astopo.ASN]serviceInfo),
 		catCache:    make(map[timeline.Snapshot][]astopo.Category),
 		ip2as:       make(map[timeline.Snapshot]*bgpsim.IP2AS),
+		chains:      make(map[chainKey]certmodel.Chain),
+		bgNames:     make(map[uint64]bgName),
 	}
 
 	w.graph = astopo.Generate(astopo.GenConfig{
